@@ -1,0 +1,39 @@
+//! EXP-C3 (criterion) — end-to-end communication generation (analysis,
+//! both placement problems, shifting, plan assembly) per kernel, plus
+//! one simulated execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnt_bench::{plan_for, KERNELS};
+use gnt_comm::{analyze, generate, CommConfig};
+use gnt_sim::{simulate, Mode, SimConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_generation");
+    for kernel in KERNELS {
+        let program = gnt_ir::parse(kernel.source).unwrap();
+        let config = CommConfig::distributed(kernel.distributed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &program,
+            |b, p| b.iter(|| generate(analyze(p, &config).unwrap()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_n256");
+    for kernel in KERNELS.iter().take(2) {
+        let (program, plan) = plan_for(kernel);
+        let config = SimConfig::with_n(256);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &plan,
+            |b, plan| b.iter(|| simulate(&program, plan, &config, Mode::GiveNTake)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! EXP-C1 (criterion) — solver wall time versus program size. §5.2 claims
+//! O(E): doubling the program size should double solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnt_cfg::IntervalGraph;
+use gnt_core::{random_problem, sized_program, solve, SolverOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_scaling");
+    for target in [100usize, 400, 1600, 6400] {
+        let program = sized_program(target);
+        let graph = IntervalGraph::from_program(&program).expect("reducible");
+        let problem = random_problem(42, &graph, 16, 0.3);
+        let opts = SolverOptions::default();
+        group.throughput(Throughput::Elements(graph.num_nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.num_nodes()),
+            &graph,
+            |b, g| b.iter(|| solve(g, &problem, &opts)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_graph");
+    for target in [100usize, 1600] {
+        let program = sized_program(target);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target),
+            &program,
+            |b, p| b.iter(|| IntervalGraph::from_program(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_graph_construction);
+criterion_main!(benches);

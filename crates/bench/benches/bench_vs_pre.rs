@@ -1,0 +1,34 @@
+//! EXP-C2 (criterion) — one framework against the classical baselines:
+//! GIVE-N-TAKE (both flavors, full consumption analysis) versus lazy
+//! code motion and Morel–Renvoise on identical graphs and universes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnt_cfg::{CfgFlow, IntervalGraph};
+use gnt_core::{random_problem, sized_program};
+use gnt_pre::{gnt_lazy_pre, lazy_code_motion, morel_renvoise, PreProblem};
+
+fn bench_vs_pre(c: &mut Criterion) {
+    let program = sized_program(800);
+    let graph = IntervalGraph::from_program(&program).expect("reducible");
+    let mut placement = random_problem(7, &graph, 16, 0.4);
+    for g in &mut placement.give_init {
+        g.clear();
+    }
+    let pre = PreProblem::from_placement(&placement);
+    let flow = CfgFlow::from_interval(&graph);
+
+    let mut group = c.benchmark_group("pre_engines_800_stmts");
+    group.bench_function("give_n_take", |b| {
+        b.iter(|| gnt_lazy_pre(&graph, &pre, true))
+    });
+    group.bench_function("lazy_code_motion", |b| {
+        b.iter(|| lazy_code_motion(&flow, &pre))
+    });
+    group.bench_function("morel_renvoise", |b| {
+        b.iter(|| morel_renvoise(&flow, &pre))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_pre);
+criterion_main!(benches);

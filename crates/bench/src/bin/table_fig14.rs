@@ -1,0 +1,45 @@
+//! EXP-F14 — regenerates Figure 14: balanced placement across a `goto`
+//! out of a loop, with the branch-taken probability swept to show both
+//! paths carry balanced production.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --bin table_fig14 --release
+//! ```
+
+use gnt_bench::{plan_for, rule, KERNELS};
+use gnt_comm::render;
+use gnt_sim::{simulate, Mode, SimConfig};
+
+fn main() {
+    let kernel = &KERNELS[2]; // fig11
+    let (program, plan) = plan_for(kernel);
+    println!("== Figure 14: placement for the Figure 11 program ==\n");
+    println!("{}", render(&program, &plan));
+
+    println!("== simulated cost by jump probability (N = 256) ==");
+    println!(
+        "{:>8} {:>14} {:>10} {:>12} {:>12}",
+        "p(jump)", "mode", "messages", "stall", "makespan"
+    );
+    rule(62);
+    for prob in [0.0, 0.05, 0.5] {
+        for mode in [Mode::Naive, Mode::VectorizedNoHiding, Mode::GiveNTake] {
+            let mut config = SimConfig::with_n(256);
+            config.branch_prob = prob;
+            let r = simulate(&program, &plan, &config, mode);
+            println!(
+                "{:>8} {:>14} {:>10} {:>12.0} {:>12.0}",
+                prob,
+                mode.to_string(),
+                r.messages,
+                r.stall_time,
+                r.makespan
+            );
+        }
+        rule(62);
+    }
+    println!(
+        "\npaper's claim: the j loop hides the gather latency when the jump\n\
+         is not taken, and the jump path carries its own balanced sends."
+    );
+}

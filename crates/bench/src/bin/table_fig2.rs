@@ -1,0 +1,45 @@
+//! EXP-F1/F2 — regenerates the Figure 1 → Figure 2 comparison as a table:
+//! naive placement (one message per reference) versus GIVE-N-TAKE (one
+//! vectorized, latency-hidden message), swept over the problem size N.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --bin table_fig2 --release
+//! ```
+
+use gnt_bench::{plan_for, rule, KERNELS};
+use gnt_comm::render;
+use gnt_sim::{simulate, Mode, SimConfig};
+
+fn main() {
+    let kernel = &KERNELS[0]; // fig1
+    let (program, plan) = plan_for(kernel);
+    println!("== Figure 2: placements for the Figure 1 program ==\n");
+    println!("{}", render(&program, &plan));
+
+    println!("== message counts and simulated time (alpha = 100, beta = 1) ==");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10} {:>12} {:>12}",
+        "N", "mode", "messages", "volume", "stall", "makespan"
+    );
+    rule(70);
+    for n in [16, 64, 256, 1024] {
+        for mode in [Mode::Naive, Mode::VectorizedNoHiding, Mode::GiveNTake] {
+            let config = SimConfig::with_n(n);
+            let r = simulate(&program, &plan, &config, mode);
+            println!(
+                "{:>6} {:>14} {:>10} {:>10} {:>12.0} {:>12.0}",
+                n,
+                mode.to_string(),
+                r.messages,
+                r.volume,
+                r.stall_time,
+                r.makespan
+            );
+        }
+        rule(70);
+    }
+    println!(
+        "\npaper's claim: naive needs N messages with no hiding; GIVE-N-TAKE\n\
+         needs one message and uses the i loop for latency hiding."
+    );
+}

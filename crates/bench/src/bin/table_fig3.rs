@@ -1,0 +1,50 @@
+//! EXP-F3 — regenerates Figure 3: WRITE placement for locally defined
+//! distributed data, with the balanced READs on both branch arms, plus
+//! the simulated cost of the combined READ/WRITE traffic.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --bin table_fig3 --release
+//! ```
+
+use gnt_bench::{plan_for, rule, KERNELS};
+use gnt_comm::{render, OpKind};
+use gnt_sim::{simulate, Mode, SimConfig};
+
+fn main() {
+    let kernel = &KERNELS[1]; // fig3
+    let (program, plan) = plan_for(kernel);
+    println!("== Figure 3: WRITE and READ placement ==\n");
+    println!("{}", render(&program, &plan));
+
+    println!("== placed operations ==");
+    for kind in [
+        OpKind::WriteSend,
+        OpKind::WriteRecv,
+        OpKind::ReadSend,
+        OpKind::ReadRecv,
+    ] {
+        println!("{:>12}: {}", kind.to_string(), plan.count(kind));
+    }
+
+    println!("\n== simulated cost (alpha = 100, beta = 1) ==");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10} {:>12}",
+        "N", "mode", "messages", "volume", "makespan"
+    );
+    rule(58);
+    for n in [64, 512] {
+        for mode in [Mode::Naive, Mode::VectorizedNoHiding, Mode::GiveNTake] {
+            let config = SimConfig::with_n(n);
+            let r = simulate(&program, &plan, &config, mode);
+            println!(
+                "{:>6} {:>14} {:>10} {:>10} {:>12.0}",
+                n,
+                mode.to_string(),
+                r.messages,
+                r.volume,
+                r.makespan
+            );
+        }
+        rule(58);
+    }
+}

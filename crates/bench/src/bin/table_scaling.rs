@@ -1,0 +1,49 @@
+//! EXP-C1 — verifies §5.2's complexity claim: the solver evaluates each
+//! equation once per node, so solve time is O(E) — linear in program
+//! size. Prints solve time and time-per-node for geometrically growing
+//! programs; the ns/node column should stay roughly flat.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --bin table_scaling --release
+//! ```
+
+use gnt_bench::rule;
+use gnt_cfg::IntervalGraph;
+use gnt_core::{random_problem, sized_program, solve, SolverOptions};
+use std::time::Instant;
+
+fn main() {
+    println!("== GIVE-N-TAKE solve time vs program size (items = 16) ==");
+    println!(
+        "{:>8} {:>8} {:>8} {:>12} {:>10}",
+        "stmts", "nodes", "edges", "solve (µs)", "ns/node"
+    );
+    rule(52);
+    for target in [50, 100, 200, 400, 800, 1600, 3200, 6400, 12800] {
+        let program = sized_program(target);
+        let graph = IntervalGraph::from_program(&program).expect("reducible");
+        let problem = random_problem(42, &graph, 16, 0.3);
+        let opts = SolverOptions::default();
+        // Warm up, then time the median of several runs.
+        let _ = solve(&graph, &problem, &opts);
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let s = solve(&graph, &problem, &opts);
+                std::hint::black_box(&s);
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        println!(
+            "{:>8} {:>8} {:>8} {:>12.1} {:>10.1}",
+            program.num_stmts(),
+            graph.num_nodes(),
+            graph.num_edges(),
+            median,
+            median * 1e3 / graph.num_nodes() as f64
+        );
+    }
+    println!("\npaper's claim (§5.2): O(E) — ns/node stays flat as size grows.");
+}

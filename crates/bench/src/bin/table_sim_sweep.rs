@@ -1,0 +1,48 @@
+//! EXP-C3 — the measured evaluation: for all five kernels, sweep the
+//! problem size and message latency and report messages, volume, stall,
+//! and makespan for the three placement strategies. The shape the paper
+//! predicts: vectorization collapses the message count from O(N) to
+//! O(1), and the EAGER/LAZY production region converts exposed stall
+//! into hidden latency as α grows.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --bin table_sim_sweep --release
+//! ```
+
+use gnt_bench::{plan_for, rule, KERNELS};
+use gnt_sim::{simulate, Mode, SimConfig};
+
+fn main() {
+    for kernel in KERNELS {
+        let (program, plan) = plan_for(kernel);
+        println!("== kernel: {} ==", kernel.name);
+        println!(
+            "{:>6} {:>7} {:>14} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            "N", "alpha", "mode", "messages", "volume", "stall", "hidden", "makespan"
+        );
+        rule(82);
+        for n in [64, 512] {
+            for alpha in [10.0, 400.0] {
+                for mode in [Mode::Naive, Mode::VectorizedNoHiding, Mode::GiveNTake] {
+                    let mut config = SimConfig::with_n(n);
+                    config.alpha = alpha;
+                    let r = simulate(&program, &plan, &config, mode);
+                    println!(
+                        "{:>6} {:>7} {:>14} {:>9} {:>9} {:>10.0} {:>10.0} {:>10.0}",
+                        n,
+                        alpha,
+                        mode.to_string(),
+                        r.messages,
+                        r.volume,
+                        r.stall_time,
+                        r.hidden_time,
+                        r.makespan
+                    );
+                    assert_eq!(r.unattributed_ops, 0, "all ops attributed");
+                }
+                rule(82);
+            }
+        }
+        println!();
+    }
+}

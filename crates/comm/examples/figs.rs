@@ -1,0 +1,13 @@
+use gnt_comm::{analyze, generate, render, CommConfig};
+
+fn show(name: &str, src: &str, arrays: &[&str]) {
+    let p = gnt_ir::parse(src).unwrap();
+    let plan = generate(analyze(&p, &CommConfig::distributed(arrays)).unwrap()).unwrap();
+    println!("==== {name} ====\n{}", render(&p, &plan));
+}
+
+fn main() {
+    show("Figure 1 -> 2", "do i = 1, N\n  y(i) = ...\nenddo\nif test then\n  do j = 1, N\n    z(j) = ...\n  enddo\n  do k = 1, N\n    ... = x(a(k))\n  enddo\nelse\n  do l = 1, N\n    ... = x(a(l))\n  enddo\nendif", &["x"]);
+    show("Figure 3", "if test then\n  do i = 1, N\n    x(a(i)) = ...\n  enddo\n  do j = 1, N\n    ... = x(j+5)\n  enddo\nendif\ndo k = 1, N\n  ... = x(k+5)\nenddo", &["x"]);
+    show("Figure 11 -> 14", "do i = 1, N\n  y(a(i)) = ...\n  if test(i) goto 77\nenddo\ndo j = 1, N\n  ... = ...\nenddo\n77 do k = 1, N\n  ... = x(k+10) + y(b(k))\nenddo", &["x","y"]);
+}

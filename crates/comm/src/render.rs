@@ -1,0 +1,241 @@
+//! Rendering a [`CommPlan`] as an annotated program listing, in the style
+//! of the paper's Figures 2, 3, and 14.
+//!
+//! Operations anchored on statement nodes print before/after their
+//! statement (loop headers: before the `do` / after the `enddo`).
+//! Operations stuck on synthetic nodes materialize the blocks the paper
+//! describes (§5.4): a landing pad becomes `if cond then ⟨ops⟩ goto L
+//! endif`, an empty branch arm becomes a real `else` block. Anything else
+//! falls back to a `!` comment naming its edge.
+
+use crate::generate::{CommOp, CommPlan};
+use gnt_cfg::{EdgeClass, EdgeMask, NodeId, NodeKind};
+use gnt_ir::{Program, StmtId, StmtKind};
+use std::fmt::Write as _;
+
+/// Renders the annotated program.
+pub fn render(program: &Program, plan: &CommPlan) -> String {
+    let mut r = Renderer {
+        program,
+        plan,
+        out: String::new(),
+        indent: 0,
+        emitted: vec![false; plan.before.len()],
+    };
+    // Ops at ROOT (and anything shifted onto the first nodes) come first.
+    r.emit_slot(r.plan.analysis.graph.root(), true);
+    r.emit_slot(r.plan.analysis.graph.root(), false);
+    r.block(program.body());
+    let exit = r.plan.analysis.graph.exit();
+    r.emit_slot(exit, true);
+    r.emit_slot(exit, false);
+    r.leftovers();
+    r.out
+}
+
+struct Renderer<'a> {
+    program: &'a Program,
+    plan: &'a CommPlan,
+    out: String,
+    indent: usize,
+    /// Tracks which node slots have been printed (true = both slots of
+    /// the node are handled; we mark per node once both sides printed).
+    emitted: Vec<bool>,
+}
+
+impl Renderer<'_> {
+    fn node(&self, sid: StmtId) -> Option<NodeId> {
+        self.plan.analysis.node_of_stmt.get(&sid).copied()
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent * 2 {
+            self.out.push(' ');
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn op_text(&self, op: CommOp) -> String {
+        let portion = self.plan.analysis.universe.resolve(op.item);
+        match self.plan.analysis.reductions.get(&op.item) {
+            Some(operator)
+                if matches!(
+                    op.kind,
+                    crate::OpKind::ReduceSend
+                        | crate::OpKind::ReduceRecv
+                        | crate::OpKind::ReduceAtomic
+                ) =>
+            {
+                format!("{}{{{operator}, {portion}}}", op.kind)
+            }
+            _ => format!("{}{{{portion}}}", op.kind),
+        }
+    }
+
+    /// Prints one slot (before or after) of `node`, marking it emitted.
+    fn emit_slot(&mut self, node: NodeId, before: bool) {
+        let ops = if before {
+            &self.plan.before[node.index()]
+        } else {
+            &self.plan.after[node.index()]
+        };
+        for &op in ops {
+            let text = self.op_text(op);
+            self.line(&text);
+        }
+        // Mark the node handled once its before-slot has been printed;
+        // the after-slot of the same node follows the same statement.
+        if before {
+            self.emitted[node.index()] = true;
+        }
+    }
+
+    fn block(&mut self, stmts: &[StmtId]) {
+        for &sid in stmts {
+            self.stmt(sid);
+        }
+    }
+
+    fn label_prefix(&self, sid: StmtId) -> String {
+        match self.program.stmt(sid).label {
+            Some(l) => format!("{l} "),
+            None => String::new(),
+        }
+    }
+
+    fn stmt(&mut self, sid: StmtId) {
+        let node = self.node(sid);
+        if let Some(n) = node {
+            self.emit_slot(n, true);
+        }
+        let label = self.label_prefix(sid);
+        match &self.program.stmt(sid).kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.line(&format!("{label}{lhs} = {rhs}"));
+            }
+            StmtKind::Continue => {
+                self.line(&format!("{label}continue"));
+            }
+            StmtKind::Goto(target) => {
+                self.line(&format!("{label}goto {target}"));
+            }
+            StmtKind::IfGoto { cond, target } => {
+                // Ops on the landing pad materialize the paper's
+                // `if … then ⟨ops⟩ goto L endif` block (Figure 14).
+                let pad = node.and_then(|b| self.jump_pad(b));
+                match pad {
+                    Some(p) if self.has_ops(p) => {
+                        self.line(&format!("{label}if {cond} then"));
+                        self.indent += 1;
+                        self.emit_slot(p, true);
+                        self.emit_slot(p, false);
+                        self.line(&format!("goto {target}"));
+                        self.indent -= 1;
+                        self.line("endif");
+                    }
+                    _ => {
+                        if let Some(p) = pad {
+                            self.emitted[p.index()] = true;
+                        }
+                        self.line(&format!("{label}if {cond} goto {target}"));
+                    }
+                }
+            }
+            StmtKind::Do { var, lo, hi, body } => {
+                self.line(&format!("{label}do {var} = {lo}, {hi}"));
+                self.indent += 1;
+                self.block(body);
+                self.indent -= 1;
+                self.line("enddo");
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.line(&format!("{label}if {cond} then"));
+                self.indent += 1;
+                if then_body.is_empty() {
+                    if let Some(s) = node.and_then(|b| self.arm_split(b, 0)) {
+                        self.emit_slot(s, true);
+                        self.emit_slot(s, false);
+                    }
+                } else {
+                    self.block(then_body);
+                }
+                self.indent -= 1;
+                // The synthetic else arm (Figure 3): materialize when it
+                // carries operations.
+                let else_split = node.and_then(|b| self.arm_split(b, 1));
+                let else_has_ops = else_split.is_some_and(|s| self.has_ops(s));
+                if !else_body.is_empty() || else_has_ops {
+                    self.line("else");
+                    self.indent += 1;
+                    if let Some(s) = else_split {
+                        self.emit_slot(s, true);
+                        self.emit_slot(s, false);
+                    }
+                    self.block(else_body);
+                    self.indent -= 1;
+                } else if let Some(s) = else_split {
+                    self.emitted[s.index()] = true;
+                }
+                self.line("endif");
+            }
+        }
+        if let Some(n) = node {
+            self.emit_slot(n, false);
+        }
+    }
+
+    fn has_ops(&self, n: NodeId) -> bool {
+        !self.plan.before[n.index()].is_empty() || !self.plan.after[n.index()].is_empty()
+    }
+
+    /// The synthetic landing pad of a jump branch, if any.
+    fn jump_pad(&self, branch: NodeId) -> Option<NodeId> {
+        self.plan
+            .analysis
+            .graph
+            .succ_edges(branch)
+            .find(|&(s, c)| {
+                c == EdgeClass::Jump && self.plan.analysis.graph.kind(s).is_synthetic()
+            })
+            .map(|(s, _)| s)
+    }
+
+    /// The synthetic node splitting the `arm`-th outgoing edge of a
+    /// branch (0 = then, 1 = else), if that arm is empty.
+    fn arm_split(&self, branch: NodeId, arm: usize) -> Option<NodeId> {
+        let g = &self.plan.analysis.graph;
+        let succs: Vec<NodeId> = g.succs(branch, EdgeMask::CEFJ).collect();
+        let s = *succs.get(arm)?;
+        if g.kind(s).is_synthetic() {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Emits any operations on nodes the structured walk did not reach
+    /// (latches, arm-end splits) as comment lines naming the node.
+    fn leftovers(&mut self) {
+        let g = &self.plan.analysis.graph;
+        for n in g.nodes() {
+            if self.emitted[n.index()] || !self.has_ops(n) {
+                continue;
+            }
+            let mut ops: Vec<CommOp> = self.plan.before[n.index()].clone();
+            ops.extend(self.plan.after[n.index()].iter().copied());
+            for op in ops {
+                let text = self.op_text(op);
+                let place = match g.kind(n) {
+                    NodeKind::Synthetic(k) => format!("synthetic {k:?} node {n}"),
+                    other => format!("{other:?} node {n}"),
+                };
+                let _ = writeln!(self.out, "! unplaced on {place}: {text}");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Exhaustive small-configuration sweep of the AFTER-problem solver
+//! against the independent verifiers. Prints the first counterexample
+//! found (program, graphs, initial variables, placements) or `no
+//! failures`. Used during development to shrink proptest failures; kept
+//! as a standalone fuzzing harness.
+
+use gnt_cfg::IntervalGraph;
+use gnt_core::*;
+
+fn main() {
+    // Shrink over AFTER problems.
+    for max_depth in 1..=3 {
+        for max_block in 1..=3usize {
+            for seed in 0..400u64 {
+                let cfgen = GenConfig { max_depth, max_block_len: max_block, ..Default::default() };
+                let p = random_program(seed, &cfgen);
+                let Ok(g) = IntervalGraph::from_program(&p) else { continue };
+                for pseed in 0..6 {
+                    let mut prob = random_problem(pseed, &g, 1, 0.5);
+                    let after = solve_after(&g, &prob, &SolverOptions::default()).unwrap();
+                    prob.resize_nodes(after.reversed.num_nodes());
+                    let mut v = check_sufficiency(&after.reversed, &prob, &after.solution.eager, true);
+                    v.extend(check_sufficiency(&after.reversed, &prob, &after.solution.lazy, true));
+                    v.extend(check_balance(&after.reversed, &prob, &after.solution.eager, &after.solution.lazy));
+                    if !v.is_empty() {
+                        println!("FAIL depth={max_depth} block={max_block} seed={seed} pseed={pseed}");
+                        println!("{}", gnt_ir::pretty(&p));
+                        println!("forward:\n{}", g.dump());
+                        println!("reversed:\n{}", after.reversed.dump());
+                        for n in g.nodes() {
+                            let t: Vec<_> = prob.take_init[n.index()].iter().collect();
+                            let s: Vec<_> = prob.steal_init[n.index()].iter().collect();
+                            let gi: Vec<_> = prob.give_init[n.index()].iter().collect();
+                            if !(t.is_empty() && s.is_empty() && gi.is_empty()) {
+                                println!("{n} {:?}: take{t:?} steal{s:?} give{gi:?}", g.kind(n));
+                            }
+                        }
+                        println!("violations {v:?}");
+                        for n in after.reversed.nodes() {
+                            for (name, fl) in [("eager", &after.solution.eager), ("lazy", &after.solution.lazy)] {
+                                let i: Vec<_> = fl.res_in[n.index()].iter().collect();
+                                let o: Vec<_> = fl.res_out[n.index()].iter().collect();
+                                if !(i.is_empty() && o.is_empty()) { println!("{name} res {n}: in{i:?} out{o:?}"); }
+                            }
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    println!("no failures");
+}

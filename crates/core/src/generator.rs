@@ -1,0 +1,301 @@
+//! Random and sized workload generators.
+//!
+//! The property-based tests and the scaling benchmarks both need streams
+//! of structured MiniF programs with placement problems over them. The
+//! generators here produce:
+//!
+//! * [`random_program`] — a random structured program (loops, branches,
+//!   optional jumps out of loops) from a seedable RNG,
+//! * [`random_problem`] — random `TAKE`/`STEAL`/`GIVE` assignments over a
+//!   graph's statement nodes,
+//! * [`sized_program`] — a deterministic program with approximately the
+//!   requested number of statements, used for the O(E) scaling bench
+//!   (EXP-C1).
+
+use crate::problem::PlacementProblem;
+use gnt_cfg::{IntervalGraph, NodeKind};
+use gnt_ir::{BlockBuilder, Expr, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`random_program`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum loop/branch nesting depth.
+    pub max_depth: usize,
+    /// Statements per block (upper bound; at least 1).
+    pub max_block_len: usize,
+    /// Probability that a statement is a loop.
+    pub loop_prob: f64,
+    /// Probability that a statement is an if/else.
+    pub if_prob: f64,
+    /// Probability of placing a `goto` out of a loop (at most one per
+    /// program, targeting a label after all loops, to keep the program
+    /// reducible).
+    pub goto_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 3,
+            max_block_len: 4,
+            loop_prob: 0.3,
+            if_prob: 0.3,
+            goto_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random structured MiniF program from `seed`.
+///
+/// The program is always reducible: jumps (at most one) leave loops
+/// forward to a final labeled statement.
+///
+/// # Examples
+///
+/// ```
+/// let p = gnt_core::random_program(42, &gnt_core::GenConfig::default());
+/// let g = gnt_cfg::IntervalGraph::from_program(&p).unwrap();
+/// assert!(g.num_nodes() >= 3);
+/// ```
+pub fn random_program(seed: u64, config: &GenConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0usize;
+    let mut used_goto = false;
+    let mut builder = ProgramBuilder::new("random");
+    let n_top = rng.gen_range(1..=config.max_block_len);
+    for _ in 0..n_top {
+        builder = builder.do_loop_or_other(&mut rng, config, &mut counter, &mut used_goto);
+    }
+    if used_goto {
+        builder = builder.labeled_continue(99);
+    }
+    builder.build()
+}
+
+trait RandomExt {
+    fn do_loop_or_other(
+        self,
+        rng: &mut StdRng,
+        config: &GenConfig,
+        counter: &mut usize,
+        used_goto: &mut bool,
+    ) -> Self;
+}
+
+impl RandomExt for ProgramBuilder {
+    fn do_loop_or_other(
+        self,
+        rng: &mut StdRng,
+        config: &GenConfig,
+        counter: &mut usize,
+        used_goto: &mut bool,
+    ) -> Self {
+        let r: f64 = rng.gen();
+        if r < config.loop_prob && config.max_depth > 0 {
+            let var = format!("i{counter}");
+            *counter += 1;
+            let inner = GenConfig {
+                max_depth: config.max_depth - 1,
+                ..config.clone()
+            };
+            self.do_loop(var, Expr::Const(1), Expr::var("N"), |b| {
+                fill_block(b, rng, &inner, counter, used_goto, true);
+            })
+        } else if r < config.loop_prob + config.if_prob && config.max_depth > 0 {
+            let inner = GenConfig {
+                max_depth: config.max_depth - 1,
+                ..config.clone()
+            };
+            // The two arm closures run sequentially inside if_else; a
+            // RefCell shares the generator state between them.
+            let state = std::cell::RefCell::new((rng, counter, used_goto));
+            self.if_else(
+                Expr::var("t"),
+                |b| {
+                    let (rng, counter, used_goto) = &mut *state.borrow_mut();
+                    fill_block(b, rng, &inner, counter, used_goto, false);
+                },
+                |b| {
+                    let (rng, counter, used_goto) = &mut *state.borrow_mut();
+                    fill_block(b, rng, &inner, counter, used_goto, false);
+                },
+            )
+        } else {
+            let v = format!("s{counter}");
+            *counter += 1;
+            self.assign(v, Expr::Opaque)
+        }
+    }
+}
+
+fn fill_block(
+    b: &mut BlockBuilder<'_>,
+    rng: &mut StdRng,
+    config: &GenConfig,
+    counter: &mut usize,
+    used_goto: &mut bool,
+    in_loop: bool,
+) {
+    let n = rng.gen_range(1..=config.max_block_len);
+    for _ in 0..n {
+        let r: f64 = rng.gen();
+        if in_loop && !*used_goto && r < config.goto_prob {
+            *used_goto = true;
+            b.if_goto(Expr::var("t"), 99);
+        } else if r < config.loop_prob && config.max_depth > 0 {
+            let var = format!("i{counter}");
+            *counter += 1;
+            let inner = GenConfig {
+                max_depth: config.max_depth - 1,
+                ..config.clone()
+            };
+            b.do_loop(var, Expr::Const(1), Expr::var("N"), |b2| {
+                fill_block(b2, rng, &inner, counter, used_goto, true);
+            });
+        } else if r < config.loop_prob + config.if_prob && config.max_depth > 0 {
+            let inner = GenConfig {
+                max_depth: config.max_depth - 1,
+                ..config.clone()
+            };
+            let state = std::cell::RefCell::new((&mut *rng, &mut *counter, &mut *used_goto));
+            b.if_else(
+                Expr::var("t"),
+                |b2| {
+                    let (rng, counter, used_goto) = &mut *state.borrow_mut();
+                    fill_block(b2, rng, &inner, counter, used_goto, false);
+                },
+                |b2| {
+                    let (rng, counter, used_goto) = &mut *state.borrow_mut();
+                    fill_block(b2, rng, &inner, counter, used_goto, false);
+                },
+            );
+        } else {
+            let v = format!("s{counter}");
+            *counter += 1;
+            b.assign(v, Expr::Opaque);
+        }
+    }
+}
+
+/// Generates a random placement problem over the statement nodes of
+/// `graph`: each `(node, item)` pair independently becomes a take, steal,
+/// or give with probability `density` (split 3:1:1).
+pub fn random_problem(
+    seed: u64,
+    graph: &IntervalGraph,
+    universe_size: usize,
+    density: f64,
+) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut problem = PlacementProblem::new(graph.num_nodes(), universe_size);
+    for n in graph.nodes() {
+        if !matches!(graph.kind(n), NodeKind::Stmt(_)) {
+            continue;
+        }
+        for item in 0..universe_size {
+            let r: f64 = rng.gen();
+            if r < density * 0.6 {
+                problem.take(n, item);
+            } else if r < density * 0.8 {
+                problem.steal(n, item);
+            } else if r < density {
+                problem.give(n, item);
+            }
+        }
+    }
+    problem
+}
+
+/// Builds a deterministic program with roughly `target_stmts` statements:
+/// repeated blocks of a loop nest, a conditional with two consuming
+/// branches, and straight-line fillers. Used by the scaling bench.
+pub fn sized_program(target_stmts: usize) -> Program {
+    let mut builder = ProgramBuilder::new("sized");
+    let mut emitted = 0usize;
+    let mut counter = 0usize;
+    while emitted < target_stmts {
+        let var = format!("i{counter}");
+        counter += 1;
+        builder = builder
+            .do_loop(var.clone(), Expr::Const(1), Expr::var("N"), |b| {
+                b.assign_array("y", Expr::var(&var), Expr::Opaque);
+                b.do_loop(
+                    format!("j{counter}"),
+                    Expr::Const(1),
+                    Expr::var("N"),
+                    |b2| {
+                        b2.consume(Expr::elem("x", Expr::elem("a", Expr::var("j"))));
+                    },
+                );
+            })
+            .if_else(
+                Expr::var("t"),
+                |b| {
+                    b.consume(Expr::elem("x", Expr::elem("a", Expr::var("k"))));
+                },
+                |b| {
+                    b.consume(Expr::elem("x", Expr::elem("b", Expr::var("l"))));
+                },
+            )
+            .assign(format!("s{counter}"), Expr::Opaque);
+        emitted += 6;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnt_cfg::IntervalGraph;
+
+    #[test]
+    fn random_programs_are_reducible_and_buildable() {
+        for seed in 0..50 {
+            let p = random_program(seed, &GenConfig::default());
+            let g = IntervalGraph::from_program(&p)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", gnt_ir::pretty(&p)));
+            assert!(g.num_nodes() >= 3);
+        }
+    }
+
+    #[test]
+    fn random_programs_vary_with_seed() {
+        let a = gnt_ir::pretty(&random_program(1, &GenConfig::default()));
+        let b = gnt_ir::pretty(&random_program(2, &GenConfig::default()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_program_is_deterministic_per_seed() {
+        let a = gnt_ir::pretty(&random_program(7, &GenConfig::default()));
+        let b = gnt_ir::pretty(&random_program(7, &GenConfig::default()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sized_program_scales_with_target() {
+        let small = sized_program(20);
+        let large = sized_program(200);
+        assert!(large.num_stmts() > small.num_stmts() * 5);
+        IntervalGraph::from_program(&large).unwrap();
+    }
+
+    #[test]
+    fn random_problem_respects_density() {
+        let p = random_program(3, &GenConfig::default());
+        let g = IntervalGraph::from_program(&p).unwrap();
+        let none = random_problem(1, &g, 4, 0.0);
+        assert!(none.take_init.iter().all(|s| s.is_empty()));
+        let dense = random_problem(1, &g, 4, 1.0);
+        let total: usize = dense
+            .take_init
+            .iter()
+            .chain(&dense.steal_init)
+            .chain(&dense.give_init)
+            .map(|s| s.len())
+            .sum();
+        assert!(total > 0);
+    }
+}

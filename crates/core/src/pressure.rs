@@ -1,0 +1,187 @@
+//! §6 extension: bounding production-region pressure.
+//!
+//! "Often the computations compete for resources, like registers or
+//! message buffers … certain extensions (such as a heuristic for
+//! inserting additional STEAL_init's which blocks production) could help
+//! to solve this conflict." — the paper's closing discussion.
+//!
+//! An item is *in flight* at a program point when the EAGER solution has
+//! produced it but the LAZY one has not yet (a sent-but-unreceived
+//! message, a live temporary). [`measure_pressure`] reports the in-flight
+//! count per node; [`solve_with_pressure_limit`] iteratively inserts
+//! `STEAL_init` at the hottest points to force shorter production regions
+//! until the limit holds — trading hiding (and possibly extra
+//! productions) for bounded buffers, exactly the conflict the paper
+//! describes.
+
+use crate::problem::{PlacementProblem, SolverOptions};
+use crate::solver::{solve, Solution};
+use gnt_cfg::{IntervalGraph, NodeId};
+
+/// The in-flight item count at each node's entry for `solution`:
+/// `|GIVEN_in^eager − GIVEN_in^lazy|`.
+pub fn measure_pressure(graph: &IntervalGraph, solution: &Solution) -> Vec<usize> {
+    graph
+        .nodes()
+        .map(|n| {
+            let i = n.index();
+            solution.eager.given_in[i]
+                .difference(&solution.lazy.given_in[i])
+                .len()
+        })
+        .collect()
+}
+
+/// The outcome of pressure-limited solving.
+#[derive(Clone, Debug)]
+pub struct PressureReport {
+    /// Maximum in-flight count before limiting.
+    pub initial_max: usize,
+    /// Maximum in-flight count of the returned solution.
+    pub final_max: usize,
+    /// `STEAL_init` entries inserted by the heuristic.
+    pub steals_inserted: usize,
+    /// Rounds of re-solving performed.
+    pub rounds: usize,
+}
+
+/// Solves `problem`, then re-solves with additional `STEAL_init`s until
+/// no node has more than `max_pending` items in flight (or `max_rounds`
+/// is exhausted — the limit may be infeasible, e.g. a single node
+/// consuming more items than the budget).
+///
+/// The heuristic demotes the highest-numbered in-flight items at the
+/// currently hottest node; each inserted steal blocks production across
+/// that node, shortening the item's region (and possibly splitting it,
+/// at the cost of extra productions — the paper's stated trade).
+pub fn solve_with_pressure_limit(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    max_pending: usize,
+    max_rounds: usize,
+) -> (Solution, PressureReport) {
+    let mut augmented = problem.clone();
+    let mut solution = solve(graph, &augmented, opts);
+    let pressure = measure_pressure(graph, &solution);
+    let initial_max = pressure.iter().copied().max().unwrap_or(0);
+    let mut report = PressureReport {
+        initial_max,
+        final_max: initial_max,
+        steals_inserted: 0,
+        rounds: 0,
+    };
+
+    while report.final_max > max_pending && report.rounds < max_rounds {
+        report.rounds += 1;
+        let pressure = measure_pressure(graph, &solution);
+        let (hot, &count) = pressure
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty graph");
+        if count <= max_pending {
+            break;
+        }
+        let node = NodeId(hot as u32);
+        // In-flight items at the hot node, highest ids demoted first.
+        let mut in_flight: Vec<usize> = solution.eager.given_in[hot]
+            .difference(&solution.lazy.given_in[hot])
+            .iter()
+            .collect();
+        in_flight.reverse();
+        for item in in_flight.into_iter().take(count - max_pending) {
+            if !augmented.steal_init[hot].contains(item) {
+                augmented.steal(node, item);
+                report.steals_inserted += 1;
+            }
+        }
+        solution = solve(graph, &augmented, opts);
+        report.final_max = measure_pressure(graph, &solution)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+    }
+    (solution, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use crate::verify::{check_balance, check_sufficiency};
+    use gnt_cfg::{IntervalGraph, NodeKind};
+    use gnt_ir::parse;
+
+    /// A chain of consumers of distinct items: everything hoists to ROOT,
+    /// so all K items are in flight at once.
+    fn chain(k: usize) -> (IntervalGraph, PlacementProblem) {
+        let src = (0..k)
+            .map(|i| format!("... = x{i}(1)"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let g = IntervalGraph::from_program(&parse(&src).unwrap()).unwrap();
+        let mut problem = PlacementProblem::new(g.num_nodes(), k);
+        let consumers: Vec<_> = g
+            .nodes()
+            .filter(|&n| matches!(g.kind(n), NodeKind::Stmt(_)))
+            .collect();
+        for (i, &c) in consumers.iter().enumerate() {
+            problem.take(c, i);
+        }
+        (g, problem)
+    }
+
+    #[test]
+    fn unlimited_solve_pipelines_everything() {
+        let (g, p) = chain(6);
+        let s = solve(&g, &p, &SolverOptions::default());
+        let max = measure_pressure(&g, &s).into_iter().max().unwrap();
+        assert_eq!(max, 6, "all sends hoisted to ROOT");
+    }
+
+    #[test]
+    fn pressure_limit_is_enforced_and_solution_stays_correct() {
+        let (g, p) = chain(6);
+        let (s, report) =
+            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 2, 32);
+        assert!(report.final_max <= 2, "{report:?}");
+        assert!(report.steals_inserted > 0);
+        assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
+        assert!(check_sufficiency(&g, &p, &s.lazy, true).is_empty());
+        assert!(check_balance(&g, &p, &s.eager, &s.lazy).is_empty());
+    }
+
+    #[test]
+    fn generous_limit_changes_nothing() {
+        let (g, p) = chain(4);
+        let (s, report) =
+            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 10, 32);
+        assert_eq!(report.steals_inserted, 0);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(s.eager.num_productions(), 4);
+    }
+
+    #[test]
+    fn infeasible_limit_terminates() {
+        // One consumer of 3 items at a single node: pressure at that node
+        // cannot drop below... the lazy receives happen at the consumer,
+        // so pending just before it stays at 3 minus whatever the
+        // heuristic forces local. The call must terminate either way.
+        let src = "a = 1\n... = x(1) + y(1) + z(1)";
+        let g = IntervalGraph::from_program(&parse(src).unwrap()).unwrap();
+        let consumer = g
+            .nodes()
+            .filter(|&n| matches!(g.kind(n), NodeKind::Stmt(_)))
+            .last()
+            .unwrap();
+        let mut p = PlacementProblem::new(g.num_nodes(), 3);
+        for i in 0..3 {
+            p.take(consumer, i);
+        }
+        let (s, report) =
+            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 0, 8);
+        assert!(report.rounds <= 8);
+        assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
+    }
+}

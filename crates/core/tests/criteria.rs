@@ -1,0 +1,221 @@
+//! EXP-F4..F10: the correctness and optimality criteria of §3.2,
+//! Figures 4–10.
+//!
+//! Each figure in the paper shows a *bad* placement and a corrected one.
+//! Here every figure becomes a scenario: we build the figure's control
+//! shape, hand-construct the bad placement to show our verifiers reject
+//! it, and check that the solver's own output satisfies the criterion.
+
+use gnt_cfg::{IntervalGraph, NodeId, NodeKind};
+use gnt_core::{
+    check_balance, check_path, check_sufficiency, enumerate_paths, path_has_zero_trip, solve,
+    FlavorSolution, PlacementProblem, SolverOptions, Violation,
+};
+use gnt_dataflow::BitSet;
+use gnt_ir::parse;
+
+fn graph(src: &str) -> IntervalGraph {
+    IntervalGraph::from_program(&parse(src).unwrap()).unwrap()
+}
+
+fn stmt_nodes(g: &IntervalGraph) -> Vec<NodeId> {
+    g.nodes()
+        .filter(|&n| matches!(g.kind(n), NodeKind::Stmt(_)))
+        .collect()
+}
+
+fn empty_placement(g: &IntervalGraph, cap: usize) -> FlavorSolution {
+    FlavorSolution {
+        given_in: vec![BitSet::new(cap); g.num_nodes()],
+        given: vec![BitSet::new(cap); g.num_nodes()],
+        given_out: vec![BitSet::new(cap); g.num_nodes()],
+        res_in: vec![BitSet::new(cap); g.num_nodes()],
+        res_out: vec![BitSet::new(cap); g.num_nodes()],
+    }
+}
+
+/// Figure 4 (C1 balance): one EAGER production matched by *two* LAZY
+/// productions along a straight line is unbalanced; the solver's pairing
+/// is rejected-free.
+#[test]
+fn fig4_balance() {
+    let g = graph("a = 1\nb = 2\n... = x(1)");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(nodes[2], 0);
+
+    // Bad: EAGER(x) at a; LAZY(x) at b *and* at the consumer.
+    let mut eager = empty_placement(&g, 1);
+    eager.res_in[nodes[0].index()].insert(0);
+    let mut lazy = empty_placement(&g, 1);
+    lazy.res_in[nodes[1].index()].insert(0);
+    lazy.res_in[nodes[2].index()].insert(0);
+    let v = check_balance(&g, &prob, &eager, &lazy);
+    assert!(
+        v.iter().any(|x| matches!(x, Violation::Unbalanced { .. })),
+        "double stop must be unbalanced: {v:?}"
+    );
+
+    // Good: the solver's output.
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert!(check_balance(&g, &prob, &sol.eager, &sol.lazy).is_empty());
+}
+
+/// Figure 5 (C2 safety): producing something that is never consumed is
+/// unsafe; the solver never produces without a downstream consumer.
+#[test]
+fn fig5_safety() {
+    let g = graph("a = 1\nb = 2");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    // No consumer at all.
+    let mut eager = empty_placement(&g, 1);
+    eager.res_in[nodes[0].index()].insert(0);
+    let mut lazy = empty_placement(&g, 1);
+    lazy.res_in[nodes[0].index()].insert(0);
+    for path in enumerate_paths(&g, 1, 10) {
+        let v = check_path(&g, &path, &prob, &eager, &lazy, true);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::Unsafe { .. })),
+            "unconsumed production must be unsafe"
+        );
+    }
+    // The solver produces nothing here.
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert_eq!(sol.eager.num_productions(), 0);
+    assert_eq!(sol.lazy.num_productions(), 0);
+}
+
+/// Figure 6 (C3 sufficiency): a consumer reached on a path with no
+/// production (or with an intervening destroyer) is insufficient; the
+/// solver covers every path.
+#[test]
+fn fig6_sufficiency() {
+    // Consumer after a branch; bad placement covers only the then arm.
+    let g = graph("if t then\n  a = 1\nelse\n  b = 2\nendif\n... = x(1)");
+    let nodes = stmt_nodes(&g);
+    let (then_arm, consumer) = (nodes[0], nodes[2]);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(consumer, 0);
+
+    let mut eager = empty_placement(&g, 1);
+    eager.res_in[then_arm.index()].insert(0);
+    let v = check_sufficiency(&g, &prob, &eager, true);
+    assert_eq!(
+        v,
+        vec![Violation::Insufficient {
+            node: consumer,
+            item: 0
+        }]
+    );
+
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert!(check_sufficiency(&g, &prob, &sol.eager, true).is_empty());
+    assert!(check_sufficiency(&g, &prob, &sol.lazy, true).is_empty());
+}
+
+/// Figure 7 (O1): nothing already produced (and not stolen) is produced
+/// again — two sequential consumers share one production.
+#[test]
+fn fig7_no_reproduction() {
+    let g = graph("... = x(1)\na = 1\n... = x(1)");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(nodes[0], 0).take(nodes[2], 0);
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert_eq!(sol.eager.num_productions(), 1);
+    assert_eq!(sol.lazy.num_productions(), 1);
+    // And no Redundant on any path.
+    for path in enumerate_paths(&g, 1, 10) {
+        let v = check_path(&g, &path, &prob, &sol.eager, &sol.lazy, true);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+/// Figure 8 (O2): as few producers as possible — consumers on both arms
+/// of a branch share a single hoisted production instead of two.
+#[test]
+fn fig8_few_producers() {
+    let g = graph("if t then\n  ... = x(1)\nelse\n  ... = x(1)\nendif");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(nodes[0], 0).take(nodes[1], 0);
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert_eq!(sol.eager.num_productions(), 1, "one shared producer");
+    assert!(sol.eager.res_in[g.root().index()].contains(0));
+}
+
+/// Figure 9 (O3): EAGER production is as early as possible — at ROOT for
+/// a guaranteed consumer, strictly before the LAZY production.
+#[test]
+fn fig9_eager_is_early() {
+    let g = graph("a = 1\nb = 2\n... = x(1)");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(nodes[2], 0);
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    let eager_at = g
+        .nodes()
+        .find(|&n| sol.eager.res_in[n.index()].contains(0))
+        .unwrap();
+    let lazy_at = g
+        .nodes()
+        .find(|&n| sol.lazy.res_in[n.index()].contains(0))
+        .unwrap();
+    assert_eq!(eager_at, g.root());
+    assert!(g.preorder_index(eager_at) < g.preorder_index(lazy_at));
+}
+
+/// Figure 10 (O3'): LAZY production is as late as possible — exactly at
+/// the consumer, not a node earlier.
+#[test]
+fn fig10_lazy_is_late() {
+    let g = graph("a = 1\nb = 2\n... = x(1)");
+    let nodes = stmt_nodes(&g);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    prob.take(nodes[2], 0);
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    assert!(sol.lazy.res_in[nodes[2].index()].contains(0));
+    assert_eq!(sol.lazy.num_productions(), 1);
+}
+
+/// The criteria hold together on the Figure 1 program with the full
+/// READ-problem setup (both branches consume the same gather).
+#[test]
+fn criteria_hold_on_figure_1() {
+    let src = "do i = 1, N\n  y(i) = ...\nenddo\n\
+               if test then\n  do j = 1, N\n    z(j) = ...\n  enddo\n\
+               do k = 1, N\n    ... = x(a(k))\n  enddo\n\
+               else\n  do l = 1, N\n    ... = x(a(l))\n  enddo\nendif";
+    let g = graph(src);
+    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    // The x(a(k)) and x(a(l)) references (level-2 statements reading x).
+    let p = parse(src).unwrap();
+    for n in g.nodes() {
+        if let NodeKind::Stmt(s) = g.kind(n) {
+            if let gnt_ir::StmtKind::Assign { rhs, .. } = &p.stmt(s).kind {
+                if rhs.subscripted_refs().iter().any(|(a, _)| *a == "x") {
+                    prob.take(n, 0);
+                }
+            }
+        }
+    }
+    let sol = solve(&g, &prob, &SolverOptions::default());
+    // Figure 2: one vectorized send at the very top.
+    assert_eq!(sol.eager.num_productions(), 1);
+    assert!(sol.eager.res_in[g.root().index()].contains(0));
+    // Two receives: one per consuming loop (the branches differ).
+    assert_eq!(sol.lazy.num_productions(), 2);
+    assert!(check_balance(&g, &prob, &sol.eager, &sol.lazy).is_empty());
+    assert!(check_sufficiency(&g, &prob, &sol.eager, true).is_empty());
+    assert!(check_sufficiency(&g, &prob, &sol.lazy, true).is_empty());
+    for path in enumerate_paths(&g, 2, 200) {
+        let strict = !path_has_zero_trip(&g, &path);
+        let v = check_path(&g, &path, &prob, &sol.eager, &sol.lazy, strict);
+        let hard: Vec<_> = v
+            .iter()
+            .filter(|x| !matches!(x, Violation::Redundant { .. }))
+            .collect();
+        assert!(hard.is_empty(), "{hard:?}");
+    }
+}

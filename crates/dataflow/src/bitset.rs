@@ -1,0 +1,417 @@
+//! A dense, fixed-capacity bit set.
+//!
+//! GIVE-N-TAKE manipulates sets drawn from a finite dataflow universe
+//! (array sections, expressions, …). Every node of the interval flow graph
+//! carries a dozen such sets, so the representation must be compact and the
+//! bulk operations (union, intersection, difference) must be word-parallel.
+//! [`BitSet`] is the classic `Vec<u64>` bit vector used by most dataflow
+//! engines.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of small integers (`0..capacity`), stored as a dense bit vector.
+///
+/// All sets participating in one dataflow problem must be created with the
+/// same capacity; the bulk operations debug-assert this.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_dataflow::BitSet;
+///
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(97);
+/// let mut b = BitSet::new(100);
+/// b.insert(97);
+/// a.intersect_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![97]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every element of `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim();
+        s
+    }
+
+    /// The number of elements this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears excess bits beyond `capacity` in the last word.
+    fn trim(&mut self) {
+        let used = self.capacity % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// Inserts `elem`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= capacity`.
+    pub fn insert(&mut self, elem: usize) -> bool {
+        assert!(elem < self.capacity, "bitset element {elem} out of range");
+        let (w, b) = (elem / WORD_BITS, elem % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `elem`, returning `true` if it was present.
+    pub fn remove(&mut self, elem: usize) -> bool {
+        if elem >= self.capacity {
+            return false;
+        }
+        let (w, b) = (elem / WORD_BITS, elem % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, elem: usize) -> bool {
+        if elem >= self.capacity {
+            return false;
+        }
+        self.words[elem / WORD_BITS] & (1 << (elem % WORD_BITS)) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ← self ∪ other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ← self ∩ other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ← self − other`; returns `true` if `self` changed.
+    pub fn subtract_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Replaces the contents of `self` with those of `other`.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Returns `self ∪ other` as a fresh set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a fresh set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self − other` as a fresh set.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.subtract_with(other);
+        s
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` if `self ∩ other = ∅`.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`], produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = BitSet::new(70);
+        s.insert(65);
+        assert!(s.remove(65));
+        assert!(!s.remove(65));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(4);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn full_set_contains_everything() {
+        let s = BitSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(0) && s.contains(66));
+        assert!(!s.contains(67));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let mut a = BitSet::new(8);
+        a.extend([1, 2, 3]);
+        let mut b = BitSet::new(8);
+        b.extend([3, 4]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn union_with_reports_change() {
+        let mut a = BitSet::new(8);
+        a.insert(1);
+        let mut b = BitSet::new(8);
+        b.insert(1);
+        assert!(!a.union_with(&b));
+        b.insert(2);
+        assert!(a.union_with(&b));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = BitSet::new(16);
+        a.extend([1, 5]);
+        let mut b = BitSet::new(16);
+        b.extend([1, 5, 9]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = BitSet::new(16);
+        c.insert(2);
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn display_formats_elements() {
+        let mut s = BitSet::new(8);
+        s.extend([2, 5]);
+        assert_eq!(s.to_string(), "{2, 5}");
+        assert_eq!(BitSet::new(8).to_string(), "{}");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", BitSet::new(3)), "{}");
+    }
+
+    fn arb_set(cap: usize) -> impl Strategy<Value = BitSet> {
+        prop::collection::vec(0..cap, 0..cap).prop_map(move |v| {
+            let mut s = BitSet::new(cap);
+            s.extend(v);
+            s
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_is_commutative(a in arb_set(100), b in arb_set(100)) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn prop_intersection_distributes_over_union(
+            a in arb_set(100), b in arb_set(100), c in arb_set(100)
+        ) {
+            prop_assert_eq!(
+                a.intersection(&b.union(&c)),
+                a.intersection(&b).union(&a.intersection(&c))
+            );
+        }
+
+        #[test]
+        fn prop_difference_then_union_restores_superset(a in arb_set(100), b in arb_set(100)) {
+            // (a − b) ∪ b ⊇ a
+            prop_assert!(a.is_subset(&a.difference(&b).union(&b)));
+        }
+
+        #[test]
+        fn prop_len_matches_iter_count(a in arb_set(200)) {
+            prop_assert_eq!(a.len(), a.iter().count());
+        }
+
+        #[test]
+        fn prop_demorgan(a in arb_set(90), b in arb_set(90)) {
+            let u = BitSet::full(90);
+            // U − (a ∪ b) = (U − a) ∩ (U − b)
+            prop_assert_eq!(
+                u.difference(&a.union(&b)),
+                u.difference(&a).intersection(&u.difference(&b))
+            );
+        }
+    }
+}

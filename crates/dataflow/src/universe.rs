@@ -1,0 +1,159 @@
+//! The dataflow universe: a bijection between domain items and small ids.
+//!
+//! GIVE-N-TAKE is parametric in its solution lattice; for the communication
+//! problem the items are array sections, for classical PRE they are
+//! expressions. [`Universe`] interns arbitrary hashable items and hands out
+//! dense [`ItemId`]s usable as [`BitSet`](crate::BitSet) elements.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A dense identifier for an interned universe item.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as a bitset element index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An interning table mapping items of type `T` to dense [`ItemId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_dataflow::Universe;
+///
+/// let mut u = Universe::new();
+/// let a = u.intern("x(1:N)");
+/// let b = u.intern("y(2:M)");
+/// assert_eq!(a, u.intern("x(1:N)")); // stable ids
+/// assert_ne!(a, b);
+/// assert_eq!(u.len(), 2);
+/// assert_eq!(u.resolve(a), &"x(1:N)");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Universe<T> {
+    items: Vec<T>,
+    ids: HashMap<T, ItemId>,
+}
+
+impl<T: Clone + Eq + Hash> Universe<T> {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Universe {
+            items: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Interns `item`, returning its stable id.
+    pub fn intern(&mut self, item: T) -> ItemId {
+        if let Some(&id) = self.ids.get(&item) {
+            return id;
+        }
+        let id = ItemId(u32::try_from(self.items.len()).expect("universe overflow"));
+        self.items.push(item.clone());
+        self.ids.insert(item, id);
+        id
+    }
+
+    /// Looks up an already-interned item.
+    pub fn get(&self, item: &T) -> Option<ItemId> {
+        self.ids.get(item).copied()
+    }
+
+    /// Returns the item for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this universe.
+    pub fn resolve(&self, id: ItemId) -> &T {
+        &self.items[id.index()]
+    }
+
+    /// The number of interned items (also the required bitset capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(id, item)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ItemId(i as u32), t))
+    }
+}
+
+impl<T: Clone + Eq + Hash> Default for Universe<T> {
+    fn default() -> Self {
+        Universe::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for Universe<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut u = Universe::new();
+        for item in iter {
+            u.intern(item);
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.intern(42);
+        let b = u.intern(42);
+        assert_eq!(a, b);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let u: Universe<&str> = ["a", "b", "c"].into_iter().collect();
+        let ids: Vec<u32> = u.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut u = Universe::new();
+        let id = u.intern("hello".to_string());
+        assert_eq!(u.resolve(id), "hello");
+        assert_eq!(u.get(&"hello".to_string()), Some(id));
+        assert_eq!(u.get(&"world".to_string()), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let u: Universe<u8> = Universe::default();
+        assert!(u.is_empty());
+    }
+}

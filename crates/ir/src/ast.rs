@@ -1,0 +1,418 @@
+//! The MiniF abstract syntax tree.
+//!
+//! MiniF is a Fortran-style mini language covering exactly the constructs
+//! the GIVE-N-TAKE paper's examples use: counted `do` loops (zero-trip, like
+//! Fortran DO), `if/then/else`, `goto` out of loops with numeric labels,
+//! and assignments over scalars and subscripted arrays. The `...` token of
+//! the paper (an irrelevant value) is a first-class opaque expression.
+//!
+//! Statements live in an arena owned by [`Program`] and are referenced by
+//! [`StmtId`], so downstream passes (CFG construction, communication
+//! annotation) can attach information to statements without borrowing the
+//! tree.
+
+use std::fmt;
+
+/// A numeric statement label, e.g. the `77` in `77 do k = 1, N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An arena index identifying a statement within its [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// The id as an arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        })
+    }
+}
+
+/// A MiniF expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A scalar variable or symbolic constant (`i`, `N`, `test`).
+    Var(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A subscripted reference `name(index)` — an array element or, by
+    /// Fortran convention, a call like `test(i)`.
+    Elem(String, Box<Expr>),
+    /// A section reference `name(lo:hi)`, as used in communication
+    /// annotations like `x(6:N+5)`.
+    Section(String, Box<Expr>, Box<Expr>),
+    /// The paper's `...`: an unspecified, irrelevant value.
+    Opaque,
+}
+
+impl Expr {
+    /// Convenience constructor for `Expr::Var`.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for `name(index)`.
+    pub fn elem(name: impl Into<String>, index: Expr) -> Expr {
+        Expr::Elem(name.into(), Box::new(index))
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Collects every subscripted reference `(array, index)` in evaluation
+    /// order, including references nested inside subscripts
+    /// (`x(a(k))` yields both `a(k)` and `x(a(k))`, inner first).
+    pub fn subscripted_refs(&self) -> Vec<(&str, &Expr)> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<(&'a str, &'a Expr)>) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Opaque => {}
+            Expr::Bin(_, l, r) => {
+                l.collect_refs(out);
+                r.collect_refs(out);
+            }
+            Expr::Elem(name, idx) => {
+                idx.collect_refs(out);
+                out.push((name, idx));
+            }
+            Expr::Section(name, lo, hi) => {
+                lo.collect_refs(out);
+                hi.collect_refs(out);
+                // Report the section as a reference with an opaque index;
+                // sections only occur in annotations, not analyzed code.
+                out.push((name, lo));
+            }
+        }
+    }
+
+    /// Collects the names of all scalar variables read by this expression.
+    pub fn free_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) | Expr::Opaque => {}
+            Expr::Var(v) => out.push(v),
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Elem(_, idx) => idx.collect_vars(out),
+            Expr::Section(_, lo, hi) => {
+                lo.collect_vars(out);
+                hi.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => f.write_str(v),
+            Expr::Bin(op, l, r) => {
+                let needs_parens = |e: &Expr| {
+                    matches!(e, Expr::Bin(inner, _, _)
+                        if matches!(op, BinOp::Mul) && !matches!(inner, BinOp::Mul))
+                };
+                if needs_parens(l) {
+                    write!(f, "({l})")?;
+                } else {
+                    write!(f, "{l}")?;
+                }
+                write!(f, "{op}")?;
+                if needs_parens(r) || matches!(op, BinOp::Sub if matches!(**r, Expr::Bin(..))) {
+                    write!(f, "({r})")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Expr::Elem(name, idx) => write!(f, "{name}({idx})"),
+            Expr::Section(name, lo, hi) => write!(f, "{name}({lo}:{hi})"),
+            Expr::Opaque => f.write_str("..."),
+        }
+    }
+}
+
+/// The target of an assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LValue {
+    /// A scalar variable.
+    Scalar(String),
+    /// An array element `name(index)`.
+    Element(String, Expr),
+    /// The paper's `... = rhs`: the value is consumed but stored nowhere
+    /// the analysis cares about.
+    Opaque,
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Scalar(v) => f.write_str(v),
+            LValue::Element(name, idx) => write!(f, "{name}({idx})"),
+            LValue::Opaque => f.write_str("..."),
+        }
+    }
+}
+
+/// A statement: an optional label plus its [`StmtKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stmt {
+    /// The numeric label, if the statement carries one.
+    pub label: Option<Label>,
+    /// What the statement does.
+    pub kind: StmtKind,
+}
+
+/// The body of a statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `lhs = rhs`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned expression.
+        rhs: Expr,
+    },
+    /// `do var = lo, hi … enddo` — a counted, potentially zero-trip loop.
+    Do {
+        /// Induction variable.
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// `if cond then … [else …] endif`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<StmtId>,
+        /// Else branch (empty when absent).
+        else_body: Vec<StmtId>,
+    },
+    /// `if cond goto target` — a conditional jump, typically out of a loop.
+    IfGoto {
+        /// Jump condition.
+        cond: Expr,
+        /// Target label.
+        target: Label,
+    },
+    /// `goto target`
+    Goto(Label),
+    /// `continue` — a no-op, useful as a label carrier.
+    Continue,
+}
+
+/// A MiniF program: a name plus a statement arena and top-level body.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_ir::parse;
+///
+/// let program = parse(
+///     "program p\n\
+///      do i = 1, N\n\
+///        y(i) = x(i)\n\
+///      enddo\n\
+///      end",
+/// )?;
+/// assert_eq!(program.name(), "p");
+/// assert_eq!(program.body().len(), 1);
+/// # Ok::<(), gnt_ir::ParseError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    arena: Vec<Stmt>,
+    body: Vec<StmtId>,
+}
+
+impl Program {
+    /// Creates an empty program. Statements are added through
+    /// [`Program::alloc`] and the top-level body set with
+    /// [`Program::set_body`], or more conveniently through
+    /// [`ProgramBuilder`](crate::ProgramBuilder).
+    pub fn new(name: impl Into<String>) -> Program {
+        Program {
+            name: name.into(),
+            arena: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The statement ids of the top-level body, in order.
+    pub fn body(&self) -> &[StmtId] {
+        &self.body
+    }
+
+    /// Replaces the top-level body.
+    pub fn set_body(&mut self, body: Vec<StmtId>) {
+        self.body = body;
+    }
+
+    /// Allocates a statement in the arena and returns its id.
+    pub fn alloc(&mut self, stmt: Stmt) -> StmtId {
+        let id = StmtId(u32::try_from(self.arena.len()).expect("statement arena overflow"));
+        self.arena.push(stmt);
+        id
+    }
+
+    /// Returns the statement for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.arena[id.index()]
+    }
+
+    /// Mutable access to the statement for `id`.
+    pub fn stmt_mut(&mut self, id: StmtId) -> &mut Stmt {
+        &mut self.arena[id.index()]
+    }
+
+    /// Total number of statements in the arena (including nested ones).
+    pub fn num_stmts(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Iterates over every statement in the arena, in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (StmtId, &Stmt)> {
+        self.arena
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StmtId(i as u32), s))
+    }
+
+    /// Finds the statement carrying `label`, if any.
+    pub fn find_label(&self, label: Label) -> Option<StmtId> {
+        self.iter()
+            .find(|(_, s)| s.label == Some(label))
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_round_trips_simple_cases() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::elem("x", Expr::var("k")),
+            Expr::Const(10),
+        );
+        assert_eq!(e.to_string(), "x(k)+10");
+    }
+
+    #[test]
+    fn expr_display_parenthesizes_mul_of_sum() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::var("i"), Expr::Const(1)),
+            Expr::Const(2),
+        );
+        assert_eq!(e.to_string(), "(i+1)*2");
+    }
+
+    #[test]
+    fn section_display() {
+        let e = Expr::Section(
+            "x".into(),
+            Box::new(Expr::Const(6)),
+            Box::new(Expr::bin(BinOp::Add, Expr::var("N"), Expr::Const(5))),
+        );
+        assert_eq!(e.to_string(), "x(6:N+5)");
+    }
+
+    #[test]
+    fn subscripted_refs_reports_nested_refs_inner_first() {
+        // x(a(k))
+        let e = Expr::elem("x", Expr::elem("a", Expr::var("k")));
+        let refs = e.subscripted_refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].0, "a");
+        assert_eq!(refs[1].0, "x");
+    }
+
+    #[test]
+    fn free_vars_sees_through_subscripts() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::elem("x", Expr::var("k")),
+            Expr::var("N"),
+        );
+        assert_eq!(e.free_vars(), vec!["k", "N"]);
+    }
+
+    #[test]
+    fn arena_alloc_and_lookup() {
+        let mut p = Program::new("t");
+        let id = p.alloc(Stmt {
+            label: Some(Label(77)),
+            kind: StmtKind::Continue,
+        });
+        p.set_body(vec![id]);
+        assert_eq!(p.stmt(id).label, Some(Label(77)));
+        assert_eq!(p.find_label(Label(77)), Some(id));
+        assert_eq!(p.find_label(Label(99)), None);
+        assert_eq!(p.num_stmts(), 1);
+    }
+}

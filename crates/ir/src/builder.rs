@@ -1,0 +1,281 @@
+//! A fluent builder for constructing MiniF programs programmatically.
+//!
+//! Used by the benchmark workload generators and the property-based tests,
+//! which synthesize thousands of random structured programs without going
+//! through the parser.
+
+use crate::ast::{Expr, LValue, Label, Program, Stmt, StmtId, StmtKind};
+
+/// Builds a [`Program`] statement by statement.
+///
+/// Block-structured statements take closures that build their bodies:
+///
+/// # Examples
+///
+/// ```
+/// use gnt_ir::{Expr, ProgramBuilder};
+///
+/// let program = ProgramBuilder::new("example")
+///     .do_loop("i", Expr::Const(1), Expr::var("N"), |b| {
+///         b.assign_array("y", Expr::var("i"), Expr::Opaque);
+///     })
+///     .build();
+/// assert_eq!(program.body().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    body: Vec<StmtId>,
+}
+
+/// Builds the body of a block (loop branch, then/else arm).
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    program: &'a mut Program,
+    body: Vec<StmtId>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program::new(name),
+            body: Vec::new(),
+        }
+    }
+
+    /// Finishes the program.
+    pub fn build(mut self) -> Program {
+        self.program.set_body(self.body);
+        self.program
+    }
+
+    fn block(&mut self) -> BlockBuilder<'_> {
+        BlockBuilder {
+            program: &mut self.program,
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends `lhs = rhs` with a scalar target.
+    pub fn assign(mut self, lhs: impl Into<String>, rhs: Expr) -> Self {
+        let mut b = self.block();
+        b.assign(lhs, rhs);
+        let ids = b.body;
+        self.body.extend(ids);
+        self
+    }
+
+    /// Appends `name(index) = rhs`.
+    pub fn assign_array(mut self, name: impl Into<String>, index: Expr, rhs: Expr) -> Self {
+        let mut b = self.block();
+        b.assign_array(name, index, rhs);
+        let ids = b.body;
+        self.body.extend(ids);
+        self
+    }
+
+    /// Appends `... = rhs` (consume without a target).
+    pub fn consume(mut self, rhs: Expr) -> Self {
+        let mut b = self.block();
+        b.consume(rhs);
+        let ids = b.body;
+        self.body.extend(ids);
+        self
+    }
+
+    /// Appends a `do var = lo, hi` loop whose body is built by `f`.
+    pub fn do_loop(
+        mut self,
+        var: impl Into<String>,
+        lo: Expr,
+        hi: Expr,
+        f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> Self {
+        let mut b = self.block();
+        b.do_loop(var, lo, hi, f);
+        let ids = b.body;
+        self.body.extend(ids);
+        self
+    }
+
+    /// Appends an `if cond then … else … endif` whose arms are built by
+    /// `then_f` and `else_f`.
+    pub fn if_else(
+        mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BlockBuilder<'_>),
+        else_f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> Self {
+        let mut b = self.block();
+        b.if_else(cond, then_f, else_f);
+        let ids = b.body;
+        self.body.extend(ids);
+        self
+    }
+
+    /// Appends a labeled `continue`.
+    pub fn labeled_continue(mut self, label: u32) -> Self {
+        let id = self.program.alloc(Stmt {
+            label: Some(Label(label)),
+            kind: StmtKind::Continue,
+        });
+        self.body.push(id);
+        self
+    }
+}
+
+impl BlockBuilder<'_> {
+    fn push(&mut self, kind: StmtKind) -> StmtId {
+        let id = self.program.alloc(Stmt { label: None, kind });
+        self.body.push(id);
+        id
+    }
+
+    /// Appends `lhs = rhs` with a scalar target.
+    pub fn assign(&mut self, lhs: impl Into<String>, rhs: Expr) -> &mut Self {
+        self.push(StmtKind::Assign {
+            lhs: LValue::Scalar(lhs.into()),
+            rhs,
+        });
+        self
+    }
+
+    /// Appends `name(index) = rhs`.
+    pub fn assign_array(
+        &mut self,
+        name: impl Into<String>,
+        index: Expr,
+        rhs: Expr,
+    ) -> &mut Self {
+        self.push(StmtKind::Assign {
+            lhs: LValue::Element(name.into(), index),
+            rhs,
+        });
+        self
+    }
+
+    /// Appends `... = rhs`.
+    pub fn consume(&mut self, rhs: Expr) -> &mut Self {
+        self.push(StmtKind::Assign {
+            lhs: LValue::Opaque,
+            rhs,
+        });
+        self
+    }
+
+    /// Appends a `do` loop whose body is built by `f`.
+    pub fn do_loop(
+        &mut self,
+        var: impl Into<String>,
+        lo: Expr,
+        hi: Expr,
+        f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> &mut Self {
+        let mut inner = BlockBuilder {
+            program: self.program,
+            body: Vec::new(),
+        };
+        f(&mut inner);
+        let body = inner.body;
+        self.push(StmtKind::Do {
+            var: var.into(),
+            lo,
+            hi,
+            body,
+        });
+        self
+    }
+
+    /// Appends an `if/else` whose arms are built by `then_f` / `else_f`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BlockBuilder<'_>),
+        else_f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> &mut Self {
+        let mut t = BlockBuilder {
+            program: self.program,
+            body: Vec::new(),
+        };
+        then_f(&mut t);
+        let then_body = t.body;
+        let mut e = BlockBuilder {
+            program: self.program,
+            body: Vec::new(),
+        };
+        else_f(&mut e);
+        let else_body = e.body;
+        self.push(StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        });
+        self
+    }
+
+    /// Appends `if cond goto label`.
+    pub fn if_goto(&mut self, cond: Expr, label: u32) -> &mut Self {
+        self.push(StmtKind::IfGoto {
+            cond,
+            target: Label(label),
+        });
+        self
+    }
+
+    /// Appends `goto label`.
+    pub fn goto(&mut self, label: u32) -> &mut Self {
+        self.push(StmtKind::Goto(Label(label)));
+        self
+    }
+
+    /// Appends a labeled `continue`.
+    pub fn labeled_continue(&mut self, label: u32) -> &mut Self {
+        let id = self.program.alloc(Stmt {
+            label: Some(Label(label)),
+            kind: StmtKind::Continue,
+        });
+        self.body.push(id);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, pretty};
+
+    #[test]
+    fn builder_matches_parser_output() {
+        let built = ProgramBuilder::new("main")
+            .do_loop("i", Expr::Const(1), Expr::var("N"), |b| {
+                b.assign_array("y", Expr::var("i"), Expr::Opaque);
+            })
+            .if_else(
+                Expr::var("test"),
+                |b| {
+                    b.consume(Expr::elem("x", Expr::elem("a", Expr::var("k"))));
+                },
+                |_| {},
+            )
+            .build();
+        let parsed = parse(
+            "do i = 1, N\n  y(i) = ...\nenddo\nif test then\n  ... = x(a(k))\nendif",
+        )
+        .unwrap();
+        assert_eq!(pretty(&built), pretty(&parsed));
+    }
+
+    #[test]
+    fn goto_and_label_build() {
+        let p = ProgramBuilder::new("g")
+            .do_loop("i", Expr::Const(1), Expr::var("N"), |b| {
+                b.if_goto(Expr::elem("test", Expr::var("i")), 77);
+            })
+            .labeled_continue(77)
+            .build();
+        let text = pretty(&p);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(pretty(&reparsed), text);
+    }
+}

@@ -1,0 +1,299 @@
+//! A line-oriented lexer for MiniF.
+//!
+//! MiniF follows Fortran in being line-structured: a newline terminates a
+//! statement, so the lexer emits explicit [`Token::Newline`] tokens
+//! (collapsing blank lines). Comments run from `!` to end of line.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `...`
+    Dots,
+    /// `=`
+    Eq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of line (also emitted for `;`).
+    Newline,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(n) => write!(f, "`{n}`"),
+            Token::Dots => f.write_str("`...`"),
+            Token::Eq => f.write_str("`=`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Colon => f.write_str("`:`"),
+            Token::Plus => f.write_str("`+`"),
+            Token::Minus => f.write_str("`-`"),
+            Token::Star => f.write_str("`*`"),
+            Token::Newline => f.write_str("end of line"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// An error produced during lexing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniF source text.
+///
+/// Blank lines and comments (`! …`) are skipped; consecutive newlines are
+/// collapsed into one [`Token::Newline`]. A trailing newline token is always
+/// present if any non-newline token was produced.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the MiniF alphabet.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut out: Vec<SpannedToken> = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    let push = |tok: Token, line: u32, out: &mut Vec<SpannedToken>| {
+        if tok == Token::Newline {
+            match out.last() {
+                None | Some(SpannedToken { token: Token::Newline, .. }) => return,
+                _ => {}
+            }
+        }
+        out.push(SpannedToken { token: tok, line });
+    };
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                push(Token::Newline, line, &mut out);
+                line += 1;
+            }
+            ';' => {
+                chars.next();
+                push(Token::Newline, line, &mut out);
+            }
+            '!' => {
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '.' => {
+                // Expect exactly `...`.
+                let mut dots = 0;
+                while chars.peek() == Some(&'.') {
+                    chars.next();
+                    dots += 1;
+                }
+                if dots != 3 {
+                    return Err(LexError { ch: '.', line });
+                }
+                push(Token::Dots, line, &mut out);
+            }
+            '=' => {
+                chars.next();
+                push(Token::Eq, line, &mut out);
+            }
+            '(' => {
+                chars.next();
+                push(Token::LParen, line, &mut out);
+            }
+            ')' => {
+                chars.next();
+                push(Token::RParen, line, &mut out);
+            }
+            ',' => {
+                chars.next();
+                push(Token::Comma, line, &mut out);
+            }
+            ':' => {
+                chars.next();
+                push(Token::Colon, line, &mut out);
+            }
+            '+' => {
+                chars.next();
+                push(Token::Plus, line, &mut out);
+            }
+            '-' => {
+                chars.next();
+                push(Token::Minus, line, &mut out);
+            }
+            '*' => {
+                chars.next();
+                push(Token::Star, line, &mut out);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + i64::from(v);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Token::Int(n), line, &mut out);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Token::Ident(s), line, &mut out);
+            }
+            other => return Err(LexError { ch: other, line }),
+        }
+    }
+    if let Some(last) = out.last() {
+        if last.token != Token::Newline {
+            let l = last.line;
+            out.push(SpannedToken {
+                token: Token::Newline,
+                line: l,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("y(i) = x(k+10)"),
+            vec![
+                Token::Ident("y".into()),
+                Token::LParen,
+                Token::Ident("i".into()),
+                Token::RParen,
+                Token::Eq,
+                Token::Ident("x".into()),
+                Token::LParen,
+                Token::Ident("k".into()),
+                Token::Plus,
+                Token::Int(10),
+                Token::RParen,
+                Token::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dots() {
+        assert_eq!(
+            toks("... = x(1)")[0..2],
+            [Token::Dots, Token::Eq]
+        );
+    }
+
+    #[test]
+    fn two_dots_is_an_error() {
+        let err = lex("x = ..").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn collapses_blank_lines_and_comments() {
+        let t = toks("a = 1\n\n! comment only\n\nb = 2");
+        let newlines = t.iter().filter(|t| **t == Token::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn semicolon_acts_as_newline() {
+        let t = toks("a = 1; b = 2");
+        assert_eq!(t.iter().filter(|t| **t == Token::Newline).count(), 2);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let t = lex("a = 1\nb = 2").unwrap();
+        assert_eq!(t.first().unwrap().line, 1);
+        assert_eq!(t.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a = 1 @").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.to_string(), "unexpected character '@' on line 1");
+    }
+
+    #[test]
+    fn lexes_section_syntax() {
+        assert_eq!(
+            toks("x(6:N+5)"),
+            vec![
+                Token::Ident("x".into()),
+                Token::LParen,
+                Token::Int(6),
+                Token::Colon,
+                Token::Ident("N".into()),
+                Token::Plus,
+                Token::Int(5),
+                Token::RParen,
+                Token::Newline,
+            ]
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! A recursive-descent parser for MiniF.
+//!
+//! The accepted grammar (newline-terminated statements, `!` comments):
+//!
+//! ```text
+//! program  := ["program" IDENT] { stmt } ["end"]
+//! stmt     := [INT] core                      -- optional numeric label
+//! core     := "do" IDENT "=" expr "," expr { stmt } "enddo"
+//!           | "if" expr "then" { stmt } ["else" { stmt }] "endif"
+//!           | "if" expr "goto" INT
+//!           | "goto" INT
+//!           | "continue"
+//!           | lvalue "=" expr
+//! lvalue   := "..." | IDENT ["(" expr ")"]
+//! expr     := term { ("+" | "-") term }
+//! term     := factor { "*" factor }
+//! factor   := "..." | INT | "-" factor | "(" expr ")"
+//!           | IDENT ["(" expr [":" expr] ")"]
+//! ```
+
+use crate::ast::{BinOp, Expr, LValue, Label, Program, Stmt, StmtId, StmtKind};
+use crate::lexer::{lex, LexError, SpannedToken, Token};
+use std::fmt;
+
+/// An error produced while parsing MiniF source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The lexer rejected a character.
+    Lex(LexError),
+    /// An unexpected token was encountered.
+    Unexpected {
+        /// What was found (`None` at end of input).
+        found: Option<Token>,
+        /// What the parser was looking for.
+        expected: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A `goto` targets a label that no statement carries.
+    UnknownLabel(Label),
+    /// Two statements carry the same label.
+    DuplicateLabel(Label),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => e.fmt(f),
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+            } => match found {
+                Some(tok) => write!(f, "expected {expected}, found {tok} on line {line}"),
+                None => write!(f, "expected {expected}, found end of input on line {line}"),
+            },
+            ParseError::UnknownLabel(l) => write!(f, "goto references unknown label {l}"),
+            ParseError::DuplicateLabel(l) => write!(f, "label {l} defined more than once"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses MiniF source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, unknown `goto` targets, or
+/// duplicate labels.
+///
+/// # Examples
+///
+/// ```
+/// let p = gnt_ir::parse(
+///     "do i = 1, N\n\
+///        y(a(i)) = ...\n\
+///        if test(i) goto 77\n\
+///      enddo\n\
+///      77 continue",
+/// )?;
+/// assert_eq!(p.body().len(), 2);
+/// # Ok::<(), gnt_ir::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        program: Program::new("main"),
+    };
+    parser.parse_program()?;
+    let program = parser.program;
+    validate_labels(&program)?;
+    Ok(program)
+}
+
+fn validate_labels(program: &Program) -> Result<(), ParseError> {
+    let mut seen = Vec::new();
+    for (_, stmt) in program.iter() {
+        if let Some(l) = stmt.label {
+            if seen.contains(&l) {
+                return Err(ParseError::DuplicateLabel(l));
+            }
+            seen.push(l);
+        }
+    }
+    for (_, stmt) in program.iter() {
+        let target = match &stmt.kind {
+            StmtKind::Goto(t) | StmtKind::IfGoto { target: t, .. } => Some(*t),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if !seen.contains(&t) {
+                return Err(ParseError::UnknownLabel(t));
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    program: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
+        Err(ParseError::Unexpected {
+            found: self.peek().cloned(),
+            expected: expected.to_string(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.unexpected(what)
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        if self.peek().is_none() {
+            return Ok(());
+        }
+        self.expect(&Token::Newline, "end of line")
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<(), ParseError> {
+        if self.eat_keyword("program") {
+            match self.bump() {
+                Some(Token::Ident(name)) => {
+                    self.program = Program::new(name);
+                }
+                _ => return self.unexpected("program name"),
+            }
+            self.expect_newline()?;
+        }
+        let body = self.parse_block(&["end"])?;
+        // Optional trailing `end`.
+        if self.eat_keyword("end") {
+            let _ = self.expect_newline();
+        }
+        self.program.set_body(body);
+        if self.peek().is_some() {
+            return self.unexpected("end of input");
+        }
+        Ok(())
+    }
+
+    /// Parses statements until end of input or one of `terminators` is seen
+    /// at the start of a line (the terminator is not consumed).
+    fn parse_block(&mut self, terminators: &[&str]) -> Result<Vec<StmtId>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            while self.peek() == Some(&Token::Newline) {
+                self.pos += 1;
+            }
+            match self.peek() {
+                None => break,
+                Some(Token::Ident(s)) if terminators.contains(&s.as_str()) => break,
+                _ => {}
+            }
+            body.push(self.parse_stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self) -> Result<StmtId, ParseError> {
+        let label = if let Some(Token::Int(n)) = self.peek() {
+            let n = *n;
+            // A line-leading integer is a label only if more follows on the
+            // line.
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.token),
+                Some(Token::Newline) | None
+            ) {
+                return self.unexpected("a statement after the label");
+            }
+            self.pos += 1;
+            Some(Label(u32::try_from(n).map_err(|_| ParseError::Unexpected {
+                found: Some(Token::Int(n)),
+                expected: "a non-negative label".to_string(),
+                line: self.line(),
+            })?))
+        } else {
+            None
+        };
+
+        let kind = if self.at_keyword("do") {
+            self.parse_do()?
+        } else if self.at_keyword("if") {
+            self.parse_if()?
+        } else if self.eat_keyword("goto") {
+            let target = self.parse_label_ref()?;
+            self.expect_newline()?;
+            StmtKind::Goto(target)
+        } else if self.eat_keyword("continue") {
+            self.expect_newline()?;
+            StmtKind::Continue
+        } else {
+            self.parse_assign()?
+        };
+        Ok(self.program.alloc(Stmt { label, kind }))
+    }
+
+    fn parse_label_ref(&mut self) -> Result<Label, ParseError> {
+        match self.bump() {
+            Some(Token::Int(n)) if n >= 0 => Ok(Label(n as u32)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.unexpected("a label number")
+            }
+        }
+    }
+
+    fn parse_do(&mut self) -> Result<StmtKind, ParseError> {
+        assert!(self.eat_keyword("do"));
+        let var = match self.bump() {
+            Some(Token::Ident(v)) => v,
+            _ => return self.unexpected("loop variable"),
+        };
+        self.expect(&Token::Eq, "`=`")?;
+        let lo = self.parse_expr()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let hi = self.parse_expr()?;
+        self.expect_newline()?;
+        let body = self.parse_block(&["enddo"])?;
+        if !self.eat_keyword("enddo") {
+            return self.unexpected("`enddo`");
+        }
+        self.expect_newline()?;
+        Ok(StmtKind::Do { var, lo, hi, body })
+    }
+
+    fn parse_if(&mut self) -> Result<StmtKind, ParseError> {
+        assert!(self.eat_keyword("if"));
+        let cond = self.parse_expr()?;
+        if self.eat_keyword("goto") {
+            let target = self.parse_label_ref()?;
+            self.expect_newline()?;
+            return Ok(StmtKind::IfGoto { cond, target });
+        }
+        if !self.eat_keyword("then") {
+            return self.unexpected("`then` or `goto`");
+        }
+        self.expect_newline()?;
+        let then_body = self.parse_block(&["else", "endif"])?;
+        let else_body = if self.eat_keyword("else") {
+            self.expect_newline()?;
+            self.parse_block(&["endif"])?
+        } else {
+            Vec::new()
+        };
+        if !self.eat_keyword("endif") {
+            return self.unexpected("`endif`");
+        }
+        self.expect_newline()?;
+        Ok(StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn parse_assign(&mut self) -> Result<StmtKind, ParseError> {
+        let lhs = match self.peek() {
+            Some(Token::Dots) => {
+                self.pos += 1;
+                LValue::Opaque
+            }
+            Some(Token::Ident(_)) => {
+                let name = match self.bump() {
+                    Some(Token::Ident(n)) => n,
+                    _ => unreachable!(),
+                };
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let idx = self.parse_expr()?;
+                    self.expect(&Token::RParen, "`)`")?;
+                    LValue::Element(name, idx)
+                } else {
+                    LValue::Scalar(name)
+                }
+            }
+            _ => return self.unexpected("a statement"),
+        };
+        self.expect(&Token::Eq, "`=`")?;
+        let rhs = self.parse_expr()?;
+        self.expect_newline()?;
+        Ok(StmtKind::Assign { lhs, rhs })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        while self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            let rhs = self.parse_factor()?;
+            lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Dots) => {
+                self.pos += 1;
+                Ok(Expr::Opaque)
+            }
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Const(n))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                Ok(Expr::bin(BinOp::Sub, Expr::Const(0), inner))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let first = self.parse_expr()?;
+                    if self.peek() == Some(&Token::Colon) {
+                        self.pos += 1;
+                        let hi = self.parse_expr()?;
+                        self.expect(&Token::RParen, "`)`")?;
+                        Ok(Expr::Section(name, Box::new(first), Box::new(hi)))
+                    } else {
+                        self.expect(&Token::RParen, "`)`")?;
+                        Ok(Expr::Elem(name, Box::new(first)))
+                    }
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => self.unexpected("an expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_1() {
+        let p = parse(
+            "do i = 1, N\n\
+               y(i) = ...\n\
+             enddo\n\
+             if test then\n\
+               do j = 1, N\n\
+                 z(j) = ...\n\
+               enddo\n\
+               do k = 1, N\n\
+                 ... = x(a(k))\n\
+               enddo\n\
+             else\n\
+               do l = 1, N\n\
+                 ... = x(a(l))\n\
+               enddo\n\
+             endif",
+        )
+        .unwrap();
+        assert_eq!(p.body().len(), 2);
+        let StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.stmt(p.body()[1]).kind
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(then_body.len(), 2);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_figure_11_with_goto() {
+        let p = parse(
+            "do i = 1, N\n\
+               y(a(i)) = ...\n\
+               if test(i) goto 77\n\
+             enddo\n\
+             do j = 1, N\n\
+               ... = ...\n\
+             enddo\n\
+             77 do k = 1, N\n\
+               ... = x(k+10) + y(b(k))\n\
+             enddo",
+        )
+        .unwrap();
+        assert_eq!(p.body().len(), 3);
+        let labeled = p.find_label(Label(77)).unwrap();
+        assert!(matches!(p.stmt(labeled).kind, StmtKind::Do { .. }));
+    }
+
+    #[test]
+    fn parses_program_header_and_end() {
+        let p = parse("program fig3\nx = 1\nend").unwrap();
+        assert_eq!(p.name(), "fig3");
+        assert_eq!(p.body().len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_goto_target() {
+        let err = parse("goto 9").unwrap_err();
+        assert_eq!(err, ParseError::UnknownLabel(Label(9)));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let err = parse("10 continue\n10 continue").unwrap_err();
+        assert_eq!(err, ParseError::DuplicateLabel(Label(10)));
+    }
+
+    #[test]
+    fn rejects_missing_enddo() {
+        let err = parse("do i = 1, N\nx = 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn parse_error_display_mentions_line() {
+        let err = parse("x = 1\ny = = 2").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("x = a + b * c").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!();
+        };
+        assert_eq!(rhs.to_string(), "a+b*c");
+        assert!(matches!(rhs, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let p = parse("x = -y + 1").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!();
+        };
+        assert_eq!(rhs.to_string(), "0-y+1");
+    }
+
+    #[test]
+    fn parses_section_expression() {
+        let p = parse("x = w(6:N+5)").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!();
+        };
+        assert!(matches!(rhs, Expr::Section(..)));
+    }
+
+    #[test]
+    fn parses_nested_loops() {
+        let p = parse(
+            "do i = 1, N\n\
+               do j = 1, M\n\
+                 x(j) = y(i)\n\
+               enddo\n\
+             enddo",
+        )
+        .unwrap();
+        let StmtKind::Do { body, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!();
+        };
+        assert!(matches!(p.stmt(body[0]).kind, StmtKind::Do { .. }));
+    }
+
+    #[test]
+    fn semicolons_separate_statements() {
+        let p = parse("a = 1; b = 2; c = 3").unwrap();
+        assert_eq!(p.body().len(), 3);
+    }
+
+    #[test]
+    fn bare_integer_line_is_an_error() {
+        assert!(parse("42").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Pretty printing of MiniF programs back to source form.
+//!
+//! The printer emits exactly the surface syntax [`parse`](crate::parse)
+//! accepts, so `parse ∘ pretty` is the identity on the AST (round-trip
+//! property, tested below and in the crate's proptests).
+
+use crate::ast::{Program, Stmt, StmtId, StmtKind};
+use std::fmt::Write as _;
+
+/// Renders `program` as MiniF source text.
+///
+/// # Examples
+///
+/// ```
+/// let p = gnt_ir::parse("do i = 1, N\n  y(i) = ...\nenddo")?;
+/// let text = gnt_ir::pretty(&p);
+/// assert_eq!(text, "do i = 1, N\n  y(i) = ...\nenddo\n");
+/// # Ok::<(), gnt_ir::ParseError>(())
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let mut printer = Printer {
+        program,
+        out: &mut out,
+        indent: 0,
+    };
+    printer.block(program.body());
+    out
+}
+
+struct Printer<'a> {
+    program: &'a Program,
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    fn block(&mut self, ids: &[StmtId]) {
+        for &id in ids {
+            self.stmt(id);
+        }
+    }
+
+    fn line_start(&mut self, stmt: &Stmt) {
+        if let Some(label) = stmt.label {
+            let _ = write!(self.out, "{label} ");
+            let used = label.0.checked_ilog10().unwrap_or(0) as usize + 2;
+            for _ in used..self.indent * 2 {
+                self.out.push(' ');
+            }
+        } else {
+            for _ in 0..self.indent * 2 {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    fn stmt(&mut self, id: StmtId) {
+        let stmt = self.program.stmt(id);
+        self.line_start(stmt);
+        match &stmt.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let _ = writeln!(self.out, "{lhs} = {rhs}");
+            }
+            StmtKind::Do { var, lo, hi, body } => {
+                let _ = writeln!(self.out, "do {var} = {lo}, {hi}");
+                self.indent += 1;
+                self.block(body);
+                self.indent -= 1;
+                self.plain_line("enddo");
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(self.out, "if {cond} then");
+                self.indent += 1;
+                self.block(then_body);
+                self.indent -= 1;
+                if !else_body.is_empty() {
+                    self.plain_line("else");
+                    self.indent += 1;
+                    self.block(else_body);
+                    self.indent -= 1;
+                }
+                self.plain_line("endif");
+            }
+            StmtKind::IfGoto { cond, target } => {
+                let _ = writeln!(self.out, "if {cond} goto {target}");
+            }
+            StmtKind::Goto(target) => {
+                let _ = writeln!(self.out, "goto {target}");
+            }
+            StmtKind::Continue => {
+                let _ = writeln!(self.out, "continue");
+            }
+        }
+    }
+
+    fn plain_line(&mut self, text: &str) {
+        for _ in 0..self.indent * 2 {
+            self.out.push(' ');
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use super::*;
+
+    #[test]
+    fn round_trips_figure_1() {
+        let src = "do i = 1, N\n  y(i) = ...\nenddo\nif test then\n  do j = 1, N\n    z(j) = ...\n  enddo\nelse\n  do l = 1, N\n    ... = x(a(l))\n  enddo\nendif\n";
+        let p = parse(src).unwrap();
+        assert_eq!(pretty(&p), src);
+    }
+
+    #[test]
+    fn round_trip_is_stable_on_ast() {
+        let src = "do i = 1, N\n y(a(i)) = ...\n if test(i) goto 77\nenddo\n77 do k = 1, N\n ... = x(k+10) + y(b(k))\nenddo";
+        let p1 = parse(src).unwrap();
+        let text = pretty(&p1);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(pretty(&p2), text);
+    }
+
+    #[test]
+    fn labels_are_printed_at_line_start() {
+        let p = parse("goto 5\n5 continue").unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("\n5 continue"), "{text}");
+    }
+}

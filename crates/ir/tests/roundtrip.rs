@@ -1,0 +1,101 @@
+//! Property: the pretty printer and parser are mutually inverse on the
+//! AST (`parse ∘ pretty ∘ parse = parse`), over randomly generated
+//! programs built without the parser.
+
+use proptest::prelude::*;
+use gnt_ir::{parse, pretty, BlockBuilder, Expr, ProgramBuilder};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Assign(u8),
+    Consume(u8),
+    Loop(Vec<Op>),
+    If(Vec<Op>, Vec<Op>),
+}
+
+fn arb_op(depth: u32) -> BoxedStrategy<Op> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(Op::Assign),
+        any::<u8>().prop_map(Op::Consume),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Op::Loop),
+            (
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(t, e)| Op::If(t, e)),
+        ]
+    })
+    .boxed()
+}
+
+fn emit(b: &mut BlockBuilder<'_>, ops: &[Op], counter: &mut u32) {
+    for op in ops {
+        match op {
+            Op::Assign(v) => {
+                b.assign_array(format!("x{}", v % 4), Expr::var("i"), Expr::Opaque);
+            }
+            Op::Consume(v) => {
+                b.consume(Expr::elem(format!("y{}", v % 4), Expr::var("i")));
+            }
+            Op::Loop(body) => {
+                let var = format!("i{counter}");
+                *counter += 1;
+                let mut body_ops = body.clone();
+                if body_ops.is_empty() {
+                    body_ops.push(Op::Assign(0));
+                }
+                b.do_loop(var, Expr::Const(1), Expr::var("N"), |b2| {
+                    let mut c = *counter;
+                    emit(b2, &body_ops, &mut c);
+                });
+                *counter += 100; // keep loop variables unique
+            }
+            Op::If(t, e) => {
+                let (t, e) = (t.clone(), e.clone());
+                let cell = std::cell::RefCell::new(*counter);
+                b.if_else(
+                    Expr::var("c"),
+                    |b2| {
+                        let mut c = *cell.borrow_mut();
+                        emit(b2, &t, &mut c);
+                    },
+                    |b2| {
+                        let mut c = *cell.borrow_mut();
+                        emit(b2, &e, &mut c);
+                    },
+                );
+                *counter += 100;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_then_parse_is_identity_on_the_rendering(ops in prop::collection::vec(arb_op(3), 1..6)) {
+        let mut builder = ProgramBuilder::new("prop");
+        // Reuse the block-builder path through a dummy wrapper loop-less
+        // program: emit at top level via a loop then strip? Simpler:
+        // build the ops inside a single top-level if to get a BlockBuilder.
+        builder = builder.if_else(
+            Expr::var("c"),
+            |b| {
+                let mut counter = 0;
+                emit(b, &ops, &mut counter);
+            },
+            |_| {},
+        );
+        let program = builder.build();
+        let text = pretty(&program);
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(pretty(&reparsed), text);
+        // And idempotent once more.
+        let again = parse(&pretty(&reparsed)).unwrap();
+        prop_assert_eq!(pretty(&again), pretty(&reparsed));
+    }
+}

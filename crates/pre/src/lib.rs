@@ -1,0 +1,45 @@
+//! Classical partial redundancy elimination baselines.
+//!
+//! The GIVE-N-TAKE paper positions its framework against the PRE line of
+//! work (Morel–Renvoise 1979 and refinements, up to lazy code motion,
+//! §1). This crate implements the two canonical baselines over the same
+//! control flow graphs and universes:
+//!
+//! * [`lazy_code_motion`] — Knoop–Rüthing–Steffen LCM (PLDI 1992),
+//!   computationally and lifetime optimal,
+//! * [`morel_renvoise`] — the original bidirectional framework (CACM
+//!   1979) with the Drechsler–Stadel correction,
+//! * [`gnt_lazy_pre`] — GIVE-N-TAKE's LAZY BEFORE solution driven as a
+//!   PRE engine, for head-to-head comparison (EXP-C2).
+//!
+//! # Examples
+//!
+//! ```
+//! use gnt_dataflow::{BitSet, SimpleGraph};
+//! use gnt_pre::{lazy_code_motion, PreProblem};
+//!
+//! // 0 → 1 → 3, 0 → 2 → 3, 3 → 4; x+y used at 1 and 3.
+//! let g = SimpleGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 0, 4);
+//! let mut p = PreProblem {
+//!     universe_size: 1,
+//!     antloc: vec![BitSet::new(1); 5],
+//!     transp: vec![BitSet::full(1); 5],
+//! };
+//! p.antloc[1].insert(0);
+//! p.antloc[3].insert(0);
+//! let r = lazy_code_motion(&g, &p);
+//! assert!(r.redundant[3].contains(0)); // the partially redundant use
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod compare;
+mod lcm;
+mod morel_renvoise;
+mod problem;
+
+pub use compare::gnt_lazy_pre;
+pub use lcm::lazy_code_motion;
+pub use morel_renvoise::morel_renvoise;
+pub use problem::{PreProblem, PrePlacement};

@@ -1,0 +1,210 @@
+//! Morel–Renvoise partial redundancy elimination (CACM 1979), with the
+//! Drechsler–Stadel correction (TOPLAS 1988).
+//!
+//! The original bidirectional PRE framework GIVE-N-TAKE generalizes. The
+//! placement-possible (PP) system is bidirectional and solved by a
+//! decreasing fixpoint from ⊤; insertions happen at node *exits*
+//! (`INSERT`), uses with `PPIN` become redundant.
+
+use crate::problem::{PreProblem, PrePlacement};
+use gnt_dataflow::{BitSet, Direction, FlowGraph, GenKillProblem, Meet};
+
+/// Runs Morel–Renvoise PRE over `flow`.
+///
+/// Insertions are reported at the *exit* of nodes (MR's `INSERT(i)`); for
+/// comparison with entry-based placements, an insertion at the exit of
+/// `i` feeds exactly the successors of `i`.
+pub fn morel_renvoise(flow: &impl FlowGraph, problem: &PreProblem) -> PrePlacement {
+    let n = flow.num_nodes();
+    assert_eq!(problem.antloc.len(), n);
+    let cap = problem.universe_size;
+    let kill: Vec<BitSet> = problem
+        .transp
+        .iter()
+        .map(|t| {
+            let mut k = BitSet::full(cap);
+            k.subtract_with(t);
+            k
+        })
+        .collect();
+
+    // Availability (forward, must): AVOUT = (AVIN − kill) ∪ comp.
+    let avail = GenKillProblem {
+        direction: Direction::Forward,
+        meet: Meet::Intersection,
+        gen: problem
+            .antloc
+            .iter()
+            .zip(&problem.transp)
+            .map(|(c, t)| c.intersection(t))
+            .collect(),
+        kill: kill.clone(),
+        boundary: BitSet::new(cap),
+    }
+    .solve(flow);
+
+    // Partial availability (forward, may).
+    let pavail = GenKillProblem {
+        direction: Direction::Forward,
+        meet: Meet::Union,
+        gen: problem
+            .antloc
+            .iter()
+            .zip(&problem.transp)
+            .map(|(c, t)| c.intersection(t))
+            .collect(),
+        kill: kill.clone(),
+        boundary: BitSet::new(cap),
+    }
+    .solve(flow);
+
+    // Anticipability (backward, must): ANTIN = antloc ∪ (ANTOUT − kill).
+    let ant = GenKillProblem {
+        direction: Direction::Backward,
+        meet: Meet::Intersection,
+        gen: problem.antloc.clone(),
+        kill: kill.clone(),
+        boundary: BitSet::new(cap),
+    }
+    .solve(flow);
+    let ant_in = &ant.after;
+
+    // Bidirectional placement-possible system, decreasing from ⊤:
+    // PPIN(i)  = PAVIN(i)
+    //          ∩ (ANTLOC(i) ∪ (TRANSP(i) ∩ PPOUT(i)))
+    //          ∩ ∏_{p ∈ pred} (PPOUT(p) ∪ AVOUT(p))
+    // PPOUT(i) = ∏_{s ∈ succ} PPIN(s); PPOUT(exit) = ∅.
+    let mut ppin: Vec<BitSet> = ant_in.clone(); // ⊤ bounded by anticipability
+    let mut ppout: Vec<BitSet> = vec![BitSet::full(cap); n];
+    ppout[flow.exit()] = BitSet::new(cap);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if i != flow.exit() {
+                let mut new_out = BitSet::full(cap);
+                let mut has = false;
+                for &s in flow.succs(i) {
+                    has = true;
+                    new_out.intersect_with(&ppin[s]);
+                }
+                if !has {
+                    new_out = BitSet::new(cap);
+                }
+                if new_out != ppout[i] {
+                    ppout[i] = new_out;
+                    changed = true;
+                }
+            }
+            let mut new_in = problem.transp[i].intersection(&ppout[i]);
+            new_in.union_with(&problem.antloc[i]);
+            new_in.intersect_with(&pavail.before[i]);
+            new_in.intersect_with(&ant_in[i]);
+            for &p in flow.preds(i) {
+                let mut edge = ppout[p].clone();
+                edge.union_with(&avail.after[p]);
+                new_in.intersect_with(&edge);
+            }
+            if flow.preds(i).is_empty() && i != flow.entry() {
+                new_in.clear();
+            }
+            if i == flow.entry() {
+                // Nothing is placeable before the entry.
+                new_in.intersect_with(&problem.antloc[i]);
+            }
+            if new_in != ppin[i] {
+                ppin[i] = new_in;
+                changed = true;
+            }
+        }
+    }
+
+    // INSERT(i) = PPOUT(i) ∩ ¬AVOUT(i) ∩ (¬PPIN(i) ∪ ¬TRANSP(i))
+    // (Drechsler–Stadel form), at node exits.
+    let mut insert_exit = Vec::with_capacity(n);
+    let mut redundant = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut ins = ppout[i].clone();
+        ins.subtract_with(&avail.after[i]);
+        let mut guard = BitSet::full(cap);
+        guard.subtract_with(&ppin[i]);
+        let mut not_transp = BitSet::full(cap);
+        not_transp.subtract_with(&problem.transp[i]);
+        guard.union_with(&not_transp);
+        ins.intersect_with(&guard);
+        insert_exit.push(ins);
+        // Redundant occurrences: computed here and placement possible at
+        // entry (the value arrives in a temporary).
+        redundant.push(problem.antloc[i].intersection(&ppin[i]));
+    }
+    PrePlacement {
+        insert_entry: vec![BitSet::new(cap); n],
+        insert_exit,
+        redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnt_dataflow::SimpleGraph;
+
+    fn problem(n: usize, cap: usize) -> PreProblem {
+        PreProblem {
+            universe_size: cap,
+            antloc: vec![BitSet::new(cap); n],
+            transp: vec![BitSet::full(cap); n],
+        }
+    }
+
+    #[test]
+    fn fully_redundant_use_is_eliminated() {
+        // 0 → 1 → 2 → 3, uses at 1 and 2: the second is redundant.
+        let g = SimpleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], 0, 3);
+        let mut p = problem(4, 1);
+        p.antloc[1].insert(0);
+        p.antloc[2].insert(0);
+        let r = morel_renvoise(&g, &p);
+        assert!(r.redundant[2].contains(0), "{r:?}");
+        assert_eq!(r.total_insertions(), 0, "{r:?}");
+    }
+
+    #[test]
+    fn partial_redundancy_gets_insertion_on_deficient_path() {
+        // 0 → 1 → 3, 0 → 2 → 3, 3 → 4; uses at 1 and 3.
+        let g = SimpleGraph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+            0,
+            4,
+        );
+        let mut p = problem(5, 1);
+        p.antloc[1].insert(0);
+        p.antloc[3].insert(0);
+        let r = morel_renvoise(&g, &p);
+        assert!(r.insert_exit[2].contains(0), "insert at exit of 2: {r:?}");
+        assert!(r.redundant[3].contains(0), "{r:?}");
+        assert_eq!(r.total_insertions(), 1);
+    }
+
+    #[test]
+    fn no_spurious_insertions_without_uses() {
+        let g = SimpleGraph::from_edges(3, &[(0, 1), (1, 2)], 0, 2);
+        let p = problem(3, 2);
+        let r = morel_renvoise(&g, &p);
+        assert_eq!(r.total_insertions(), 0);
+        assert_eq!(r.total_redundant(), 0);
+    }
+
+    #[test]
+    fn kill_blocks_movement() {
+        // use at 1, kill at 2, use at 3: nothing movable across 2.
+        let g = SimpleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], 0, 3);
+        let mut p = problem(4, 1);
+        p.antloc[1].insert(0);
+        p.antloc[3].insert(0);
+        p.transp[2].remove(0);
+        let r = morel_renvoise(&g, &p);
+        assert!(!r.redundant[3].contains(0), "{r:?}");
+    }
+}

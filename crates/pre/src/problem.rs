@@ -1,0 +1,91 @@
+//! Problem and result types shared by the PRE baselines.
+
+use gnt_core::PlacementProblem;
+use gnt_dataflow::BitSet;
+
+/// A classical PRE problem over a universe of expressions.
+#[derive(Clone, Debug)]
+pub struct PreProblem {
+    /// Number of expressions.
+    pub universe_size: usize,
+    /// `ANTLOC(n)`: expressions locally anticipable (computed) at `n` —
+    /// the analogue of GIVE-N-TAKE's `TAKE_init`.
+    pub antloc: Vec<BitSet>,
+    /// `TRANSP(n)`: expressions whose operands `n` leaves intact — the
+    /// complement of `STEAL_init`.
+    pub transp: Vec<BitSet>,
+}
+
+impl PreProblem {
+    /// Derives the classical PRE view of a GIVE-N-TAKE placement problem
+    /// (`GIVE_init` has no classical counterpart and is ignored; classical
+    /// PRE assumes nothing comes for free, §1).
+    pub fn from_placement(problem: &PlacementProblem) -> PreProblem {
+        let cap = problem.universe_size;
+        PreProblem {
+            universe_size: cap,
+            antloc: problem.take_init.clone(),
+            transp: problem
+                .steal_init
+                .iter()
+                .map(|s| {
+                    let mut t = BitSet::full(cap);
+                    t.subtract_with(s);
+                    t
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A PRE transformation: insertions plus newly-redundant occurrences.
+#[derive(Clone, Debug)]
+pub struct PrePlacement {
+    /// Computations inserted at the entry of each node.
+    pub insert_entry: Vec<BitSet>,
+    /// Computations inserted at the exit of each node (Morel–Renvoise
+    /// places at exits; GIVE-N-TAKE may use both sides).
+    pub insert_exit: Vec<BitSet>,
+    /// Original computations that became redundant (replaced by a
+    /// temporary).
+    pub redundant: Vec<BitSet>,
+}
+
+impl PrePlacement {
+    /// An all-empty placement over `n` nodes.
+    pub fn empty(n: usize, cap: usize) -> PrePlacement {
+        PrePlacement {
+            insert_entry: vec![BitSet::new(cap); n],
+            insert_exit: vec![BitSet::new(cap); n],
+            redundant: vec![BitSet::new(cap); n],
+        }
+    }
+
+    /// Total number of inserted `(node, expression)` computations.
+    pub fn total_insertions(&self) -> usize {
+        self.insert_entry.iter().map(BitSet::len).sum::<usize>()
+            + self.insert_exit.iter().map(BitSet::len).sum::<usize>()
+    }
+
+    /// Total number of eliminated occurrences.
+    pub fn total_redundant(&self) -> usize {
+        self.redundant.iter().map(BitSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnt_cfg::NodeId;
+
+    #[test]
+    fn from_placement_inverts_steal_into_transp() {
+        let mut p = PlacementProblem::new(2, 3);
+        p.take(NodeId(0), 1).steal(NodeId(1), 2);
+        let pre = PreProblem::from_placement(&p);
+        assert!(pre.antloc[0].contains(1));
+        assert!(pre.transp[1].contains(0));
+        assert!(pre.transp[1].contains(1));
+        assert!(!pre.transp[1].contains(2));
+    }
+}

@@ -1,0 +1,257 @@
+//! Symbolic affine expressions: `c₀ + Σ cᵢ·vᵢ`.
+//!
+//! Section bounds in the paper are affine in symbolic constants and loop
+//! bounds (`x(6:N+5)`, `y(a(1:i))`). [`Affine`] is the canonical form with
+//! exact integer arithmetic; comparisons that hold for *all* variable
+//! assignments (e.g. `N+1 > N`) are decidable, everything else is
+//! "unknown" — the client must be conservative.
+
+use gnt_ir::{BinOp, Expr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A canonical affine expression over symbolic variables.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_sections::Affine;
+///
+/// let n_plus_5 = Affine::var("N") + Affine::constant(5);
+/// let n_plus_3 = Affine::var("N") + Affine::constant(3);
+/// assert_eq!(n_plus_5.clone() - n_plus_3, Affine::constant(2));
+/// assert_eq!(n_plus_5.to_string(), "N+5");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Affine {
+    constant: i64,
+    /// Variable coefficients, zero coefficients removed.
+    terms: BTreeMap<String, i64>,
+}
+
+impl Affine {
+    /// The constant `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The variable `v` with coefficient 1.
+    pub fn var(v: impl Into<String>) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(v.into(), 1);
+        Affine { constant: 0, terms }
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: &str) -> i64 {
+        self.terms.get(v).copied().unwrap_or(0)
+    }
+
+    /// `true` if the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The variables with nonzero coefficients.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.keys().map(String::as_str)
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(mut self, k: i64) -> Affine {
+        self.constant *= k;
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.normalize();
+        self
+    }
+
+    /// Substitutes `v := replacement`.
+    pub fn substitute(&self, v: &str, replacement: &Affine) -> Affine {
+        let mut out = self.clone();
+        let k = out.terms.remove(v).unwrap_or(0);
+        if k != 0 {
+            out = out + replacement.clone().scale(k);
+        }
+        out
+    }
+
+    fn normalize(&mut self) {
+        self.terms.retain(|_, c| *c != 0);
+    }
+
+    /// Converts a MiniF expression if it is affine (constants, variables,
+    /// `+`, `-`, and multiplication where one side is constant).
+    ///
+    /// Returns `None` for subscripted references, `...`, sections, or
+    /// non-linear products.
+    pub fn from_expr(expr: &Expr) -> Option<Affine> {
+        match expr {
+            Expr::Const(c) => Some(Affine::constant(*c)),
+            Expr::Var(v) => Some(Affine::var(v.clone())),
+            Expr::Bin(op, l, r) => {
+                let l = Affine::from_expr(l)?;
+                let r = Affine::from_expr(r)?;
+                match op {
+                    BinOp::Add => Some(l + r),
+                    BinOp::Sub => Some(l - r),
+                    BinOp::Mul => {
+                        if l.is_constant() {
+                            Some(r.scale(l.constant))
+                        } else if r.is_constant() {
+                            Some(l.scale(r.constant))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Expr::Elem(..) | Expr::Section(..) | Expr::Opaque => None,
+        }
+    }
+
+    /// `Some(true)` if `self ≤ other` for every variable assignment,
+    /// `Some(false)` if `self > other` for every assignment, `None` if it
+    /// depends. Decidable exactly when the difference is constant.
+    pub fn le(&self, other: &Affine) -> Option<bool> {
+        let diff = other.clone() - self.clone();
+        if diff.is_constant() {
+            Some(diff.constant >= 0)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::ops::Add for Affine {
+    type Output = Affine;
+    fn add(mut self, rhs: Affine) -> Affine {
+        self.constant += rhs.constant;
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0) += c;
+        }
+        self.normalize();
+        self
+    }
+}
+
+impl std::ops::Sub for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Affine) -> Affine {
+        self + rhs.scale(-1)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                match *c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    c => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, "+{v}")?;
+                } else {
+                    write!(f, "+{c}*{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, "-{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, "+{}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Affine({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnt_ir::Expr;
+
+    #[test]
+    fn arithmetic_is_canonical() {
+        let a = Affine::var("N") + Affine::constant(5) - Affine::var("N");
+        assert_eq!(a, Affine::constant(5));
+        assert!(a.is_constant());
+    }
+
+    #[test]
+    fn from_expr_handles_affine_forms() {
+        // k + 10
+        let e = Expr::bin(BinOp::Add, Expr::var("k"), Expr::Const(10));
+        let a = Affine::from_expr(&e).unwrap();
+        assert_eq!(a.coeff("k"), 1);
+        assert_eq!(a.constant_part(), 10);
+        // 2 * (i - 1)
+        let e2 = Expr::bin(
+            BinOp::Mul,
+            Expr::Const(2),
+            Expr::bin(BinOp::Sub, Expr::var("i"), Expr::Const(1)),
+        );
+        let a2 = Affine::from_expr(&e2).unwrap();
+        assert_eq!(a2.coeff("i"), 2);
+        assert_eq!(a2.constant_part(), -2);
+    }
+
+    #[test]
+    fn from_expr_rejects_nonaffine() {
+        // a(k) subscripted
+        assert!(Affine::from_expr(&Expr::elem("a", Expr::var("k"))).is_none());
+        // i * j
+        let e = Expr::bin(BinOp::Mul, Expr::var("i"), Expr::var("j"));
+        assert!(Affine::from_expr(&e).is_none());
+    }
+
+    #[test]
+    fn substitute_replaces_variable() {
+        // k + 10 with k := N  →  N + 10
+        let a = Affine::var("k") + Affine::constant(10);
+        let b = a.substitute("k", &Affine::var("N"));
+        assert_eq!(b, Affine::var("N") + Affine::constant(10));
+    }
+
+    #[test]
+    fn le_is_decided_for_constant_differences() {
+        let n = Affine::var("N");
+        let n1 = Affine::var("N") + Affine::constant(1);
+        assert_eq!(n.le(&n1), Some(true));
+        assert_eq!(n1.le(&n), Some(false));
+        assert_eq!(n.le(&Affine::var("M")), None);
+    }
+
+    #[test]
+    fn display_formats_mixed_terms() {
+        let a = Affine::var("N").scale(2) + Affine::constant(-3);
+        assert_eq!(a.to_string(), "2*N-3");
+        assert_eq!(Affine::constant(0).to_string(), "0");
+        assert_eq!((Affine::var("i") - Affine::var("j")).to_string(), "i-j");
+    }
+}

@@ -1,0 +1,35 @@
+//! Regular array section descriptors with symbolic affine bounds.
+//!
+//! The GIVE-N-TAKE communication generator works over a dataflow universe
+//! of *array portions* (§2 of the paper): regular sections like
+//! `x(6:N+5)`, gathers through index arrays like `x(a(1:N))`, and — as a
+//! conservative fallback — whole arrays. This crate provides
+//!
+//! * [`Affine`] — canonical symbolic affine expressions for bounds,
+//! * [`Range`], [`DataRef`] — sections, gathers, overlap/containment
+//!   queries,
+//! * [`normalize_ref`] with a [`LoopContext`] — message vectorization:
+//!   the footprint of a subscripted reference across all enclosing loop
+//!   iterations, in a canonical (value-numbered) form.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnt_ir::Expr;
+//! use gnt_sections::{normalize_ref, LoopContext};
+//!
+//! let mut ctx = LoopContext::new();
+//! ctx.push("k", &Expr::Const(1), &Expr::var("N"));
+//! let gather = normalize_ref("x", &Expr::elem("a", Expr::var("k")), &ctx);
+//! assert_eq!(gather.to_string(), "x(a(1:N))");
+//! ```
+
+#![warn(missing_docs)]
+
+mod affine;
+mod normalize;
+mod section;
+
+pub use affine::Affine;
+pub use normalize::{normalize_ref, LoopContext};
+pub use section::{DataRef, Range};

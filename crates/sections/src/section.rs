@@ -1,0 +1,276 @@
+//! Regular section descriptors and the reference normal form.
+//!
+//! The communication problem's dataflow universe consists of *array
+//! portions*: contiguous sections with symbolic bounds (`x(6:N+5)`),
+//! gathers through an index array (`x(a(1:N))`), or — as a conservative
+//! fallback — a whole array. [`DataRef`] is the canonical (value-numbered)
+//! form: two references that denote the same portion normalize to equal
+//! values, which is how the paper recognizes `x(a(k))` and `x(a(l))` as
+//! identical (§2, Figure 2).
+
+use crate::affine::Affine;
+use std::fmt;
+
+/// A symbolic index range `lo:hi` (inclusive, Fortran style).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Range {
+    /// Lower bound.
+    pub lo: Affine,
+    /// Upper bound.
+    pub hi: Affine,
+}
+
+impl Range {
+    /// The single-point range `at:at`.
+    pub fn point(at: Affine) -> Range {
+        Range {
+            lo: at.clone(),
+            hi: at,
+        }
+    }
+
+    /// `Some(true)` if the ranges provably do not intersect, `Some(false)`
+    /// if they provably do, `None` if unknown.
+    pub fn disjoint(&self, other: &Range) -> Option<bool> {
+        // Disjoint if hi < other.lo or other.hi < lo, for all assignments.
+        let before = (self.hi.clone() + Affine::constant(1)).le(&other.lo);
+        let after = (other.hi.clone() + Affine::constant(1)).le(&self.lo);
+        match (before, after) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => {
+                // Both orders overlap-or-equal: they provably intersect if
+                // additionally each lo ≤ the other's hi.
+                match (self.lo.le(&other.hi), other.lo.le(&self.hi)) {
+                    (Some(true), Some(true)) => Some(false),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some(true)` if `self` provably contains `other`.
+    pub fn contains(&self, other: &Range) -> Option<bool> {
+        match (self.lo.le(&other.lo), other.hi.le(&self.hi)) {
+            (Some(true), Some(true)) => Some(true),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}:{}", self.lo, self.hi)
+        }
+    }
+}
+
+impl fmt::Debug for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Range({self})")
+    }
+}
+
+/// A canonical reference to a portion of a distributed array — the items
+/// of the communication dataflow universe.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataRef {
+    /// A regular section `array(lo:hi)`.
+    Section {
+        /// Array name.
+        array: String,
+        /// Index range.
+        range: Range,
+    },
+    /// A gather `array(index(lo:hi))` through an index array.
+    Gather {
+        /// Array name.
+        array: String,
+        /// The index-array reference producing the subscripts.
+        index: Box<DataRef>,
+    },
+    /// The whole array (conservative fallback for unanalyzable
+    /// subscripts).
+    Whole {
+        /// Array name.
+        array: String,
+    },
+}
+
+impl DataRef {
+    /// The referenced array.
+    pub fn array(&self) -> &str {
+        match self {
+            DataRef::Section { array, .. }
+            | DataRef::Gather { array, .. }
+            | DataRef::Whole { array } => array,
+        }
+    }
+
+    /// `true` if the two references may denote overlapping storage.
+    /// Conservative: `false` only when provably disjoint.
+    pub fn may_overlap(&self, other: &DataRef) -> bool {
+        if self.array() != other.array() {
+            return false;
+        }
+        match (self, other) {
+            (
+                DataRef::Section { range: a, .. },
+                DataRef::Section { range: b, .. },
+            ) => a.disjoint(b) != Some(true),
+            // Gathers and whole-array references may touch anything in
+            // the array.
+            _ => true,
+        }
+    }
+
+    /// `true` if `self` provably covers all of `other` (writing `self`
+    /// redefines every element `other` could read).
+    pub fn covers(&self, other: &DataRef) -> bool {
+        if self.array() != other.array() {
+            return false;
+        }
+        match (self, other) {
+            (DataRef::Whole { .. }, _) => true,
+            (
+                DataRef::Section { range: a, .. },
+                DataRef::Section { range: b, .. },
+            ) => a.contains(b) == Some(true),
+            _ => false,
+        }
+    }
+
+    /// `true` if this reference's subscripts are read through `array`
+    /// (destroying `array` invalidates the reference, §4.1).
+    pub fn depends_on_index_array(&self, array: &str) -> bool {
+        match self {
+            DataRef::Section { .. } | DataRef::Whole { .. } => false,
+            DataRef::Gather { index, .. } => {
+                index.array() == array || index.depends_on_index_array(array)
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataRef::Section { array, range } => write!(f, "{array}({range})"),
+            DataRef::Gather { array, index } => {
+                // x(a(1:N)) — render the inner reference inside the
+                // subscript position.
+                let inner = index.to_string();
+                write!(f, "{array}({inner})")
+            }
+            DataRef::Whole { array } => write!(f, "{array}(*)"),
+        }
+    }
+}
+
+impl fmt::Debug for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DataRef({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(array: &str, lo: Affine, hi: Affine) -> DataRef {
+        DataRef::Section {
+            array: array.into(),
+            range: Range { lo, hi },
+        }
+    }
+
+    #[test]
+    fn adjacent_sections_are_disjoint() {
+        // x(1:N) vs x(N+1:2N)
+        let a = Range {
+            lo: Affine::constant(1),
+            hi: Affine::var("N"),
+        };
+        let b = Range {
+            lo: Affine::var("N") + Affine::constant(1),
+            hi: Affine::var("N").scale(2),
+        };
+        assert_eq!(a.disjoint(&b), Some(true));
+    }
+
+    #[test]
+    fn shifted_sections_overlap_unknown_or_known() {
+        // x(1:N) vs x(6:N+5): both lo ≤ other hi by constants? 1≤N+5 ✓
+        // constant diff? N+5−1 has N — le gives None… 6 ≤ N unknown.
+        let a = Range {
+            lo: Affine::constant(1),
+            hi: Affine::var("N"),
+        };
+        let b = Range {
+            lo: Affine::constant(6),
+            hi: Affine::var("N") + Affine::constant(5),
+        };
+        // Not provably disjoint.
+        assert_ne!(a.disjoint(&b), Some(true));
+    }
+
+    #[test]
+    fn containment_is_decided_for_constant_offsets() {
+        let outer = Range {
+            lo: Affine::constant(1),
+            hi: Affine::var("N") + Affine::constant(10),
+        };
+        let inner = Range {
+            lo: Affine::constant(2),
+            hi: Affine::var("N"),
+        };
+        assert_eq!(outer.contains(&inner), Some(true));
+        assert_eq!(inner.contains(&outer), Some(false));
+    }
+
+    #[test]
+    fn different_arrays_never_overlap() {
+        let a = sec("x", Affine::constant(1), Affine::var("N"));
+        let b = sec("y", Affine::constant(1), Affine::var("N"));
+        assert!(!a.may_overlap(&b));
+    }
+
+    #[test]
+    fn gather_overlaps_sections_of_same_array() {
+        let g = DataRef::Gather {
+            array: "x".into(),
+            index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
+        };
+        let s = sec("x", Affine::constant(6), Affine::var("N") + Affine::constant(5));
+        assert!(g.may_overlap(&s));
+        assert!(!g.covers(&s));
+    }
+
+    #[test]
+    fn gather_depends_on_its_index_array() {
+        let g = DataRef::Gather {
+            array: "x".into(),
+            index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
+        };
+        assert!(g.depends_on_index_array("a"));
+        assert!(!g.depends_on_index_array("x"));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let g = DataRef::Gather {
+            array: "x".into(),
+            index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
+        };
+        assert_eq!(g.to_string(), "x(a(1:N))");
+        let s = sec("x", Affine::constant(6), Affine::var("N") + Affine::constant(5));
+        assert_eq!(s.to_string(), "x(6:N+5)");
+        assert_eq!(DataRef::Whole { array: "z".into() }.to_string(), "z(*)");
+        let p = sec("y", Affine::constant(3), Affine::constant(3));
+        assert_eq!(p.to_string(), "y(3)");
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulator configuration and reports.
+
+use std::collections::HashMap;
+
+/// Machine and workload parameters for a simulation run.
+///
+/// The communication cost model is the classic α+βn: a message of `n`
+/// elements completes α + β·n time units after its send is issued. A
+/// receive stalls until the matching message has arrived; computation
+/// executed between send and receive hides latency.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Message startup latency (time units).
+    pub alpha: f64,
+    /// Per-element transfer cost (time units / element).
+    pub beta: f64,
+    /// Cost of executing one statement (time units).
+    pub compute: f64,
+    /// Values for symbolic scalars (`N`, `M`, …).
+    pub bindings: HashMap<String, i64>,
+    /// Allocation size for every array (must cover all subscripts).
+    pub array_size: usize,
+    /// Probability that a branch condition evaluates to "then"/taken.
+    pub branch_prob: f64,
+    /// Seed for the deterministic branch/condition stream.
+    pub seed: u64,
+    /// Execution step budget (guards against non-terminating inputs).
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// A convenient default: `N = n`, arrays sized `2n + 16`, α = 100,
+    /// β = 1, compute = 1 (an iPSC-class latency/compute ratio).
+    pub fn with_n(n: i64) -> SimConfig {
+        let mut bindings = HashMap::new();
+        bindings.insert("N".to_string(), n);
+        bindings.insert("M".to_string(), n);
+        SimConfig {
+            alpha: 100.0,
+            beta: 1.0,
+            compute: 1.0,
+            bindings,
+            array_size: (2 * n + 16) as usize,
+            branch_prob: 0.5,
+            seed: 0xC0FFEE,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// How communication is charged during simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// One message per element per executed reference/definition of a
+    /// distributed array (the paper's Figure 2 left).
+    Naive,
+    /// The GIVE-N-TAKE plan's vectorized operations, but each receive is
+    /// issued back-to-back with its send: no latency hiding.
+    VectorizedNoHiding,
+    /// The full GIVE-N-TAKE plan: sends issue early, receives stall only
+    /// for the latency not hidden by intervening computation.
+    GiveNTake,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::Naive => "naive",
+            Mode::VectorizedNoHiding => "vectorized",
+            Mode::GiveNTake => "give-n-take",
+        })
+    }
+}
+
+/// Aggregate results of one simulated execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Logical messages issued.
+    pub messages: u64,
+    /// Elements transferred.
+    pub volume: u64,
+    /// Time spent stalled in receives (or blocking transfers).
+    pub stall_time: f64,
+    /// Time spent computing.
+    pub compute_time: f64,
+    /// Total simulated time.
+    pub makespan: f64,
+    /// Latency hidden behind computation (informational).
+    pub hidden_time: f64,
+    /// Statements executed.
+    pub statements: u64,
+    /// Plan operations that could not be attributed to a program point
+    /// and were charged at program start (should be 0 for the kernels in
+    /// this repository).
+    pub unattributed_ops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_n_binds_n_and_sizes_arrays() {
+        let c = SimConfig::with_n(100);
+        assert_eq!(c.bindings["N"], 100);
+        assert!(c.array_size >= 216);
+    }
+}

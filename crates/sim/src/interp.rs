@@ -1,0 +1,490 @@
+//! The simulator: executes a MiniF program under a communication plan and
+//! charges the α+βn cost model.
+//!
+//! Control flow is interpreted concretely (loop bounds from the symbolic
+//! bindings, branch conditions from a deterministic pseudo-random stream),
+//! so all three modes of [`Mode`] run the *same* execution path and their
+//! reports are directly comparable:
+//!
+//! * [`Mode::Naive`] charges one blocking single-element message per
+//!   executed reference/definition of a distributed array;
+//! * [`Mode::VectorizedNoHiding`] executes the plan's vectorized
+//!   operations but stalls each receive for the full message cost;
+//! * [`Mode::GiveNTake`] lets receives stall only for latency not hidden
+//!   by computation executed since the matching send.
+
+use crate::config::{Mode, SimConfig, SimReport};
+use gnt_cfg::{EdgeClass, EdgeMask, NodeId};
+use gnt_comm::{CommOp, CommPlan, OpKind};
+use gnt_sections::{Affine, DataRef};
+use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind};
+use std::collections::{HashMap, HashSet};
+
+/// Runs `program` under `plan` and returns the cost report.
+///
+/// # Panics
+///
+/// Panics if the step budget of `config` is exhausted (malformed input).
+pub fn simulate(program: &Program, plan: &CommPlan, config: &SimConfig, mode: Mode) -> SimReport {
+    let mut sim = Sim {
+        program,
+        plan,
+        config,
+        mode,
+        scalars: config.bindings.clone(),
+        arrays: HashMap::new(),
+        clock: 0.0,
+        report: SimReport::default(),
+        pending: HashMap::new(),
+        rng: config.seed ^ 0x9E37_79B9_7F4A_7C15,
+        steps: 0,
+        distributed: plan
+            .analysis
+            .universe
+            .iter()
+            .map(|(_, r)| r.array().to_string())
+            .collect(),
+        handled: HashSet::new(),
+    };
+    sim.mark_handled();
+    sim.fire_unattributed();
+    sim.fire_node(plan.analysis.graph.root());
+    let outcome = sim.block(program.body());
+    debug_assert!(outcome.is_none(), "goto escaped the program");
+    sim.fire_node(plan.analysis.graph.exit());
+    sim.report.makespan = sim.clock;
+    sim.report
+}
+
+struct Sim<'a> {
+    program: &'a Program,
+    plan: &'a CommPlan,
+    config: &'a SimConfig,
+    mode: Mode,
+    scalars: HashMap<String, i64>,
+    arrays: HashMap<String, Vec<i64>>,
+    clock: f64,
+    report: SimReport,
+    /// Arrival time of the in-flight message per (is_write, item).
+    pending: HashMap<(bool, u32), f64>,
+    rng: u64,
+    steps: u64,
+    distributed: HashSet<String>,
+    /// Nodes whose operations the structured walk fires.
+    handled: HashSet<NodeId>,
+}
+
+impl Sim<'_> {
+    // ---- plan-op firing ---------------------------------------------------
+
+    fn mark_handled(&mut self) {
+        let g = &self.plan.analysis.graph;
+        self.handled.insert(g.root());
+        self.handled.insert(g.exit());
+        for (_, &n) in &self.plan.analysis.node_of_stmt {
+            self.handled.insert(n);
+        }
+        // Landing pads and empty-arm splits are fired by their branches.
+        for (sid, &b) in &self.plan.analysis.node_of_stmt {
+            match &self.program.stmt(*sid).kind {
+                StmtKind::IfGoto { .. } => {
+                    if let Some(p) = self.jump_pad(b) {
+                        self.handled.insert(p);
+                    }
+                }
+                StmtKind::If { .. } => {
+                    for arm in 0..2 {
+                        if let Some(s) = self.arm_split(b, arm) {
+                            self.handled.insert(s);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn fire_unattributed(&mut self) {
+        let g = self.plan.analysis.graph.clone();
+        for n in g.nodes() {
+            if self.handled.contains(&n) {
+                continue;
+            }
+            let ops: Vec<CommOp> = self.plan.before[n.index()]
+                .iter()
+                .chain(self.plan.after[n.index()].iter())
+                .copied()
+                .collect();
+            for op in ops {
+                if self.mode != Mode::Naive {
+                    self.report.unattributed_ops += 1;
+                }
+                self.exec_op(op);
+            }
+        }
+    }
+
+    fn jump_pad(&self, branch: NodeId) -> Option<NodeId> {
+        let g = &self.plan.analysis.graph;
+        g.succ_edges(branch)
+            .find(|&(s, c)| c == EdgeClass::Jump && g.kind(s).is_synthetic())
+            .map(|(s, _)| s)
+    }
+
+    fn arm_split(&self, branch: NodeId, arm: usize) -> Option<NodeId> {
+        let g = &self.plan.analysis.graph;
+        let succs: Vec<NodeId> = g.succs(branch, EdgeMask::CEFJ).collect();
+        let s = *succs.get(arm)?;
+        if g.kind(s).is_synthetic() {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn fire_slot(&mut self, node: NodeId, before: bool) {
+        let ops: Vec<CommOp> = if before {
+            self.plan.before[node.index()].clone()
+        } else {
+            self.plan.after[node.index()].clone()
+        };
+        for op in ops {
+            self.exec_op(op);
+        }
+    }
+
+    fn fire_node(&mut self, node: NodeId) {
+        self.fire_slot(node, true);
+        self.fire_slot(node, false);
+    }
+
+    fn item_size(&self, item: gnt_dataflow::ItemId) -> u64 {
+        fn size_of(r: &DataRef, cfg: &SimConfig) -> u64 {
+            match r {
+                DataRef::Section { range, .. } => {
+                    let lo = eval_affine(&range.lo, cfg);
+                    let hi = eval_affine(&range.hi, cfg);
+                    (hi - lo + 1).max(0) as u64
+                }
+                DataRef::Gather { index, .. } => size_of(index, cfg),
+                DataRef::Whole { .. } => cfg.array_size as u64,
+            }
+        }
+        size_of(self.plan.analysis.universe.resolve(item), self.config)
+    }
+
+    fn exec_op(&mut self, op: CommOp) {
+        if self.mode == Mode::Naive {
+            return; // naive charging happens at the references instead
+        }
+        let size = self.item_size(op.item);
+        let cost = self.config.alpha + self.config.beta * size as f64;
+        let is_write = !matches!(op.kind, OpKind::ReadSend | OpKind::ReadRecv | OpKind::ReadAtomic);
+        if op.kind.is_atomic() {
+            // A fused operation blocks for the full transfer.
+            self.report.messages += 1;
+            self.report.volume += size;
+            self.report.stall_time += cost;
+            self.clock += cost;
+        } else if op.kind.is_send() {
+            self.pending.insert((is_write, op.item.0), self.clock + cost);
+            self.report.messages += 1;
+            self.report.volume += size;
+        } else {
+            let arrival = self
+                .pending
+                .remove(&(is_write, op.item.0))
+                .unwrap_or(self.clock + cost);
+            let stall = match self.mode {
+                Mode::GiveNTake => (arrival - self.clock).max(0.0),
+                _ => cost,
+            };
+            self.report.stall_time += stall;
+            self.report.hidden_time += cost - stall;
+            self.clock += stall;
+        }
+    }
+
+    // ---- interpretation ----------------------------------------------------
+
+    fn tick(&mut self) {
+        self.steps += 1;
+        assert!(
+            self.steps <= self.config.max_steps,
+            "simulation exceeded its step budget"
+        );
+        self.clock += self.config.compute;
+        self.report.compute_time += self.config.compute;
+        self.report.statements += 1;
+    }
+
+    fn next_bool(&mut self) -> bool {
+        // xorshift64*
+        self.rng ^= self.rng >> 12;
+        self.rng ^= self.rng << 25;
+        self.rng ^= self.rng >> 27;
+        let x = self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < self.config.branch_prob
+    }
+
+    fn array(&mut self, name: &str) -> &mut Vec<i64> {
+        let size = self.config.array_size;
+        self.arrays.entry(name.to_string()).or_insert_with(|| {
+            // Index arrays start as the identity permutation, so gathers
+            // have well-defined concrete footprints.
+            (0..size as i64).collect()
+        })
+    }
+
+    fn eval(&mut self, expr: &Expr) -> i64 {
+        match expr {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => self.scalars.get(v).copied().unwrap_or(0),
+            Expr::Bin(op, l, r) => {
+                let (l, r) = (self.eval(l), self.eval(r));
+                match op {
+                    gnt_ir::BinOp::Add => l.wrapping_add(r),
+                    gnt_ir::BinOp::Sub => l.wrapping_sub(r),
+                    gnt_ir::BinOp::Mul => l.wrapping_mul(r),
+                }
+            }
+            Expr::Elem(name, idx) => {
+                let i = self.eval(idx);
+                let size = self.config.array_size as i64;
+                let i = i.rem_euclid(size.max(1)) as usize;
+                self.array(name)[i]
+            }
+            Expr::Section(..) | Expr::Opaque => 0,
+        }
+    }
+
+    /// Charges naive per-element communication for the distributed
+    /// accesses of one executed statement.
+    fn charge_naive(&mut self, reads: &Expr, write: Option<&LValue>) {
+        if self.mode != Mode::Naive {
+            return;
+        }
+        let cost = self.config.alpha + self.config.beta;
+        let mut n = 0u64;
+        for (array, _) in reads.subscripted_refs() {
+            if self.distributed.contains(array) {
+                n += 1;
+            }
+        }
+        if let Some(LValue::Element(name, _)) = write {
+            if self.distributed.contains(name.as_str()) {
+                // Write-back: send + recv at the owner, blocking.
+                n += 1;
+            }
+        }
+        self.report.messages += n;
+        self.report.volume += n;
+        self.report.stall_time += n as f64 * cost;
+        self.clock += n as f64 * cost;
+    }
+
+    fn block(&mut self, stmts: &[StmtId]) -> Option<gnt_ir::Label> {
+        let mut i = 0;
+        while i < stmts.len() {
+            match self.stmt(stmts[i]) {
+                None => i += 1,
+                Some(target) => {
+                    // Forward goto: continue at the labeled statement if
+                    // it lives in this block, otherwise propagate out.
+                    if let Some(pos) = stmts
+                        .iter()
+                        .position(|&s| self.program.stmt(s).label == Some(target))
+                    {
+                        i = pos;
+                    } else {
+                        return Some(target);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn stmt(&mut self, sid: StmtId) -> Option<gnt_ir::Label> {
+        let node = self.plan.analysis.node_of_stmt.get(&sid).copied();
+        if let Some(n) = node {
+            self.fire_slot(n, true);
+        }
+        let outcome = match &self.program.stmt(sid).kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.tick();
+                let value = self.eval(rhs);
+                self.charge_naive(rhs, Some(lhs));
+                if let LValue::Element(name, idx) = lhs {
+                    let i = self.eval(idx);
+                    let size = self.config.array_size as i64;
+                    let i = i.rem_euclid(size.max(1)) as usize;
+                    self.array(name)[i] = value;
+                } else if let LValue::Scalar(name) = lhs {
+                    self.scalars.insert(name.clone(), value);
+                }
+                None
+            }
+            StmtKind::Continue => {
+                self.tick();
+                None
+            }
+            StmtKind::Goto(target) => {
+                self.tick();
+                Some(*target)
+            }
+            StmtKind::IfGoto { cond, target } => {
+                self.tick();
+                self.charge_naive(cond, None);
+                if self.next_bool() {
+                    if let Some(pad) = node.and_then(|b| self.jump_pad(b)) {
+                        self.fire_node(pad);
+                    }
+                    Some(*target)
+                } else {
+                    None
+                }
+            }
+            StmtKind::Do { var, lo, hi, body } => {
+                self.tick();
+                let lo = self.eval(lo);
+                let hi = self.eval(hi);
+                let mut escaped = None;
+                let mut iv = lo;
+                while iv <= hi {
+                    self.scalars.insert(var.clone(), iv);
+                    if let Some(t) = self.block(body) {
+                        escaped = Some(t);
+                        break;
+                    }
+                    iv += 1;
+                    self.tick(); // loop bookkeeping per iteration
+                }
+                escaped
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.tick();
+                self.charge_naive(cond, None);
+                if self.next_bool() {
+                    if then_body.is_empty() {
+                        if let Some(s) = node.and_then(|b| self.arm_split(b, 0)) {
+                            self.fire_node(s);
+                        }
+                        None
+                    } else {
+                        self.block(then_body)
+                    }
+                } else {
+                    if let Some(s) = node.and_then(|b| self.arm_split(b, 1)) {
+                        self.fire_node(s);
+                    }
+                    self.block(else_body)
+                }
+            }
+        };
+        if outcome.is_none() {
+            if let Some(n) = node {
+                self.fire_slot(n, false);
+            }
+        }
+        outcome
+    }
+}
+
+fn eval_affine(a: &Affine, cfg: &SimConfig) -> i64 {
+    let mut v = a.constant_part();
+    for var in a.vars() {
+        let value = cfg
+            .bindings
+            .get(var)
+            .copied()
+            .unwrap_or((cfg.array_size / 2) as i64);
+        v += a.coeff(var) * value;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnt_comm::{analyze, generate, CommConfig};
+
+    fn setup(src: &str, arrays: &[&str]) -> (gnt_ir::Program, CommPlan) {
+        let p = gnt_ir::parse(src).unwrap();
+        let plan = generate(analyze(&p, &CommConfig::distributed(arrays)).unwrap()).unwrap();
+        (p, plan)
+    }
+
+    #[test]
+    fn figure_2_needs_n_messages_naive_and_one_with_gnt() {
+        let (p, plan) = setup(
+            "do i = 1, N\n  y(i) = ...\nenddo\n\
+             if test then\n  do k = 1, N\n    ... = x(a(k))\n  enddo\n\
+             else\n  do l = 1, N\n    ... = x(a(l))\n  enddo\nendif",
+            &["x"],
+        );
+        let config = SimConfig::with_n(64);
+        let naive = simulate(&p, &plan, &config, Mode::Naive);
+        let gnt = simulate(&p, &plan, &config, Mode::GiveNTake);
+        assert_eq!(naive.messages, 64, "one per k/l iteration");
+        assert_eq!(gnt.messages, 1, "one vectorized send");
+        assert_eq!(gnt.volume, 64);
+        assert_eq!(naive.unattributed_ops, 0);
+        assert_eq!(gnt.unattributed_ops, 0);
+        assert!(gnt.makespan < naive.makespan);
+    }
+
+    #[test]
+    fn latency_hiding_beats_back_to_back_transfer() {
+        // The i-loop provides compute to hide the gather's latency.
+        let (p, plan) = setup(
+            "do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo",
+            &["x"],
+        );
+        let config = SimConfig::with_n(256);
+        let hidden = simulate(&p, &plan, &config, Mode::GiveNTake);
+        let exposed = simulate(&p, &plan, &config, Mode::VectorizedNoHiding);
+        assert_eq!(hidden.messages, exposed.messages);
+        assert!(hidden.stall_time < exposed.stall_time, "{hidden:?} vs {exposed:?}");
+        assert!(hidden.makespan < exposed.makespan);
+        assert!(hidden.hidden_time > 0.0);
+    }
+
+    #[test]
+    fn same_execution_path_across_modes() {
+        let (p, plan) = setup(
+            "do i = 1, N\n  if t(i) goto 9\n  ... = x(i)\nenddo\n9 continue",
+            &["x"],
+        );
+        let config = SimConfig::with_n(32);
+        let a = simulate(&p, &plan, &config, Mode::Naive);
+        let b = simulate(&p, &plan, &config, Mode::GiveNTake);
+        assert_eq!(a.statements, b.statements, "same control flow");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (p, plan) = setup(
+            "if t then\n  ... = x(1)\nelse\n  ... = x(2)\nendif",
+            &["x"],
+        );
+        let config = SimConfig::with_n(16);
+        let a = simulate(&p, &plan, &config, Mode::GiveNTake);
+        let b = simulate(&p, &plan, &config, Mode::GiveNTake);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_back_is_charged() {
+        let (p, plan) = setup("do i = 1, N\n  x(a(i)) = ...\nenddo\nb = 1", &["x"]);
+        let config = SimConfig::with_n(32);
+        let naive = simulate(&p, &plan, &config, Mode::Naive);
+        let gnt = simulate(&p, &plan, &config, Mode::GiveNTake);
+        assert_eq!(naive.messages, 32, "one write-back per iteration");
+        assert_eq!(gnt.messages, 1, "one vectorized write");
+    }
+}

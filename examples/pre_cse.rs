@@ -1,0 +1,52 @@
+//! GIVE-N-TAKE as a classical PRE engine, head to head with lazy code
+//! motion and Morel–Renvoise on a partially redundant expression.
+//!
+//! ```sh
+//! cargo run --example pre_cse
+//! ```
+
+use give_n_take::cfg::{CfgFlow, IntervalGraph, NodeKind};
+use give_n_take::dataflow::BitSet;
+use give_n_take::pre::{gnt_lazy_pre, lazy_code_motion, morel_renvoise, PreProblem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `a + b` (expression 0) is computed on the then arm and again after
+    // the join: partially redundant — the classic PRE motivating example.
+    let program = give_n_take::ir::parse(
+        "if t then\n  u = a + b\nelse\n  v = 1\nendif\nw = a + b",
+    )?;
+    let graph = IntervalGraph::from_program(&program)?;
+    let stmts: Vec<_> = graph
+        .nodes()
+        .filter(|&n| matches!(graph.kind(n), NodeKind::Stmt(_)))
+        .collect();
+    let (use1, use2) = (stmts[0], stmts[2]);
+
+    let mut pre = PreProblem {
+        universe_size: 1,
+        antloc: vec![BitSet::new(1); graph.num_nodes()],
+        transp: vec![BitSet::full(1); graph.num_nodes()],
+    };
+    pre.antloc[use1.index()].insert(0);
+    pre.antloc[use2.index()].insert(0);
+
+    let flow = CfgFlow::from_interval(&graph);
+    let gnt = gnt_lazy_pre(&graph, &pre, true);
+    let lcm = lazy_code_motion(&flow, &pre);
+    let mr = morel_renvoise(&flow, &pre);
+
+    println!("partially redundant `a + b` after an if/else join:");
+    for (name, p) in [("GIVE-N-TAKE (lazy)", &gnt), ("lazy code motion", &lcm), ("Morel-Renvoise", &mr)] {
+        println!(
+            "  {name:<20} insertions: {:>2}   occurrences eliminated: {:>2}",
+            p.total_insertions(),
+            p.total_redundant()
+        );
+    }
+    // All three eliminate the join occurrence by inserting on the
+    // deficient (else) path.
+    assert_eq!(gnt.total_redundant(), 1);
+    assert_eq!(lcm.total_redundant(), 1);
+    assert_eq!(mr.total_redundant(), 1);
+    Ok(())
+}
