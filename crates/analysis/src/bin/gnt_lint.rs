@@ -1,0 +1,184 @@
+//! `gnt-lint` — lint a MiniF program's communication placement.
+//!
+//! ```text
+//! gnt-lint file.minif [--before|--after] [--deny CODE[,CODE…]]
+//!          [--format text|json] [--distributed a,b] [--zero-trip]
+//!          [--dot out.dot] [--explain CODE] [--list-codes]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 denied findings (errors always deny), 2 usage
+//! or parse errors.
+
+use gnt_analyze::driver::{lint_source, LintOptions, OutputFormat, ProblemSelect};
+use gnt_analyze::{explain, render_json, render_text, REGISTRY};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: gnt-lint <file.minif> [options]
+
+options:
+  --before            lint only the BEFORE (READ) problem
+  --after             lint only the AFTER (WRITE) problem
+  --deny CODE[,...]   fail (exit 1) on these warning codes; `all` denies every finding
+  --format FMT        `text` (default) or `json`
+  --distributed LIST  comma-separated distributed arrays (default: auto-detect)
+  --zero-trip         also lint zero-trip executions (reported as warnings)
+  --dot PATH          write the interval graph with findings highlighted (Graphviz)
+  --explain CODE      print the registry entry for a diagnostic code
+  --list-codes        print the whole diagnostic registry
+  -h, --help          show this help
+";
+
+struct Args {
+    file: Option<String>,
+    opts: LintOptions,
+    format: OutputFormat,
+    dot: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        file: None,
+        opts: LintOptions::default(),
+        format: OutputFormat::Text,
+        dot: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-codes" => {
+                for info in REGISTRY {
+                    println!(
+                        "{} [{:7}] {} ({})",
+                        info.code,
+                        info.severity.to_string(),
+                        info.title,
+                        info.reference
+                    );
+                }
+                return Ok(None);
+            }
+            "--explain" => {
+                let code = value("--explain")?;
+                let info = explain(&code).ok_or_else(|| format!("unknown code `{code}`"))?;
+                println!(
+                    "{}: {}\n  reference: {}\n  default severity: {}",
+                    info.code, info.title, info.reference, info.severity
+                );
+                return Ok(None);
+            }
+            "--before" => args.opts.select = ProblemSelect::Before,
+            "--after" => args.opts.select = ProblemSelect::After,
+            "--zero-trip" => args.opts.zero_trip = true,
+            "--deny" => {
+                let v = value("--deny")?;
+                for code in v.split(',') {
+                    if code != "all" && explain(code).is_none() {
+                        return Err(format!("unknown code `{code}` in --deny"));
+                    }
+                    args.opts.deny.push(code.to_string());
+                }
+            }
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--distributed" => {
+                let v = value("--distributed")?;
+                args.opts.distributed = Some(
+                    v.split(',')
+                        .map(str::to_string)
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--dot" => args.dot = Some(value("--dot")?),
+            other if other.starts_with("--format=") => {
+                args.format = match &other["--format=".len()..] {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    fmt => return Err(format!("unknown format `{fmt}`")),
+                };
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if args.file.replace(other.to_string()).is_some() {
+                    return Err("more than one input file".to_string());
+                }
+            }
+        }
+    }
+    if args.file.is_none() {
+        return Err("no input file".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let file = args.file.expect("checked in parse_args");
+    let src = match std::fs::read_to_string(&file) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (_, report) = match lint_source(&src, &args.opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        OutputFormat::Json => print!("{}", render_json(&report.diagnostics, &file, &src)),
+        OutputFormat::Text => {
+            for d in &report.diagnostics {
+                println!("{}", render_text(d, &file, &src));
+            }
+            let errors = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == gnt_analyze::Severity::Error)
+                .count();
+            let warnings = report.diagnostics.len() - errors;
+            if report.diagnostics.is_empty() {
+                println!(
+                    "{file}: clean ({} communication ops placed)",
+                    report.plan.ops().count()
+                );
+            } else {
+                println!("{file}: {errors} error(s), {warnings} warning(s)");
+            }
+        }
+    }
+    if let Some(path) = &args.dot {
+        let dot = gnt_cfg::to_dot(&report.plan.analysis.graph, Some(&report.overlay()));
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::from(u8::try_from(report.exit_code(&args.opts.deny)).unwrap_or(1))
+}

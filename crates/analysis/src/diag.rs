@@ -1,0 +1,380 @@
+//! Diagnostic infrastructure: stable `GNT0xx` codes, severities,
+//! source-span primary locations, and rustc-style / JSON rendering.
+//!
+//! Every lint in this crate reports through [`Diagnostic`]. A diagnostic
+//! is anchored to a node of the interval flow graph; [`attach_spans`]
+//! resolves nodes to byte [`Span`]s of the original source (via
+//! [`gnt_cfg::node_spans`]) so [`render_text`] can underline the
+//! offending statement exactly like `rustc` does.
+
+use gnt_cfg::NodeId;
+use gnt_ir::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the placement works but is suboptimal or fragile
+    /// (optimality criteria O1–O3', zero-trip caveats).
+    Warning,
+    /// The placement or plan violates a correctness criterion.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding: a stable code, a severity, a primary location
+/// (graph node and, once attached, a source span), and free-form notes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`"GNT001"` … `"GNT022"`), see [`REGISTRY`].
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// One-line human-readable message.
+    pub message: String,
+    /// Byte span of the offending statement in the original source, if
+    /// the program was parsed (builder-made programs have no spans).
+    pub primary_span: Option<Span>,
+    /// The interval-graph node the finding is anchored to.
+    pub node: Option<NodeId>,
+    /// Additional context lines rendered as `= note: …`.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            primary_span: None,
+            node: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Anchors the diagnostic to graph node `n`.
+    pub fn at(mut self, n: NodeId) -> Diagnostic {
+        self.node = Some(n);
+        self
+    }
+
+    /// Sets the primary source span directly.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.primary_span = Some(span);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Registry entry describing one stable diagnostic code.
+#[derive(Clone, Copy, Debug)]
+pub struct CodeInfo {
+    /// The stable code.
+    pub code: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// Which paper criterion / figure the code corresponds to.
+    pub reference: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+}
+
+/// The diagnostic code registry: one stable code per failure shape of
+/// the paper's Figures 4–10 plus the structural and communication lints.
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: "GNT001",
+        title: "insufficient production: a consumer may execute unfed",
+        reference: "C3 sufficiency, Figure 6",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT002",
+        title: "unbalanced placement: eager/lazy productions do not pair on some path",
+        reference: "C1 balance, Figure 4",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT003",
+        title: "unsafe production: produced but never consumed",
+        reference: "C2 safety, Figure 5",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT004",
+        title: "redundant production: item re-produced while still available",
+        reference: "O1 non-redundancy, Figure 7",
+        severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: "GNT005",
+        title: "excess producers: more production points than necessary",
+        reference: "O2 few producers, Figure 8",
+        severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: "GNT006",
+        title: "eager production later than necessary",
+        reference: "O3 eager-early, Figure 9",
+        severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: "GNT007",
+        title: "lazy production earlier than necessary",
+        reference: "O3' lazy-late, Figure 10",
+        severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: "GNT010",
+        title: "interval flow graph violates a structural invariant",
+        reference: "graph structure, §3.3/§3.4",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT011",
+        title: "dead communication: transfer never consumed on any path",
+        reference: "communication generation, §2/§6",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT012",
+        title: "redundant communication: item re-communicated while available or in flight",
+        reference: "O1 over communication plans",
+        severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: "GNT020",
+        title: "message leak: send never matched by a receive on some path",
+        reference: "send/recv matching, §3.1",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT021",
+        title: "deadlock potential: receive reachable before its send",
+        reference: "send/recv matching, §3.1",
+        severity: Severity::Error,
+    },
+    CodeInfo {
+        code: "GNT022",
+        title: "communication race: overlapping sections concurrently in flight",
+        reference: "section aliasing, §4.1",
+        severity: Severity::Error,
+    },
+];
+
+/// Looks up the registry entry for `code`.
+pub fn explain(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+/// Fills in `primary_span` for diagnostics that carry a node but no
+/// span, using a node→span table from [`gnt_cfg::node_spans`].
+pub fn attach_spans(diags: &mut [Diagnostic], spans: &[Option<Span>]) {
+    for d in diags {
+        if d.primary_span.is_none() {
+            if let Some(n) = d.node {
+                d.primary_span = spans.get(n.index()).copied().flatten();
+            }
+        }
+    }
+}
+
+/// Finds the line containing byte `offset`: `(line_start, line_end)`
+/// byte bounds, exclusive of the newline.
+fn line_bounds(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let start = src[..offset].rfind('\n').map_or(0, |p| p + 1);
+    let end = src[offset..].find('\n').map_or(src.len(), |p| offset + p);
+    (start, end)
+}
+
+/// Renders one diagnostic in rustc style:
+///
+/// ```text
+/// error[GNT003]: x(1:1) is produced but never consumed
+///   --> fig5.minif:1:1
+///    |
+///  1 | a = 1
+///    | ^^^^^
+///    = note: C2 safety, Figure 5
+/// ```
+pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
+    match diag.primary_span {
+        Some(span) => {
+            let (line, col) = span.start_line_col(src);
+            let _ = writeln!(out, "  --> {file}:{line}:{col}");
+            let (ls, le) = line_bounds(src, span.start as usize);
+            let text = &src[ls..le];
+            let gutter = line.to_string().len().max(2);
+            let _ = writeln!(out, "{:>gutter$} |", "");
+            let _ = writeln!(out, "{line:>gutter$} | {text}");
+            let caret_start = span.start as usize - ls;
+            let caret_len = (span.end as usize)
+                .min(le)
+                .saturating_sub(span.start as usize);
+            let _ = writeln!(
+                out,
+                "{:>gutter$} | {}{}",
+                "",
+                " ".repeat(text[..caret_start].chars().count()),
+                "^".repeat(
+                    text[caret_start..caret_start + caret_len]
+                        .chars()
+                        .count()
+                        .max(1)
+                ),
+            );
+        }
+        None => {
+            let _ = match diag.node {
+                Some(n) => writeln!(out, "  --> {file} (graph node {n}, no source span)"),
+                None => writeln!(out, "  --> {file}"),
+            };
+        }
+    }
+    for note in &diag.notes {
+        let _ = writeln!(out, "   = note: {note}");
+    }
+    if let Some(info) = explain(diag.code) {
+        let _ = writeln!(out, "   = note: {}", info.reference);
+    }
+    out
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders all diagnostics as a JSON array (machine-readable output for
+/// `gnt-lint --format=json`). Spans are reported as byte offsets plus
+/// 1-based line/column.
+pub fn render_json(diags: &[Diagnostic], file: &str, src: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"file\":\"{}\"",
+            d.code,
+            d.severity,
+            json_escape(&d.message),
+            json_escape(file),
+        );
+        if let Some(span) = d.primary_span {
+            let (line, col) = span.start_line_col(src);
+            let _ = write!(
+                out,
+                ",\"span\":{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+                span.start, span.end
+            );
+        }
+        if let Some(n) = d.node {
+            let _ = write!(out, ",\"node\":{}", n.index());
+        }
+        let _ = write!(out, ",\"notes\":[");
+        for (j, note) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(note));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for info in REGISTRY {
+            assert!(info.code.starts_with("GNT"), "{}", info.code);
+            assert_eq!(info.code.len(), 6);
+            assert!(seen.insert(info.code), "duplicate {}", info.code);
+        }
+        assert!(explain("GNT022").unwrap().title.contains("race"));
+        assert!(explain("GNT999").is_none());
+    }
+
+    #[test]
+    fn text_rendering_underlines_the_span() {
+        let src = "a = 1\nb = 2\n... = x(1)";
+        let d = Diagnostic::error("GNT003", "x(1:1) is produced but never consumed")
+            .with_span(Span::new(6, 11))
+            .note("produced at the start of the program");
+        let text = render_text(&d, "t.minif", src);
+        assert!(text.contains("error[GNT003]"), "{text}");
+        assert!(text.contains("--> t.minif:2:1"), "{text}");
+        assert!(text.contains(" 2 | b = 2"), "{text}");
+        assert!(text.contains("^^^^^"), "{text}");
+        assert!(text.contains("= note: produced at the start"), "{text}");
+    }
+
+    #[test]
+    fn spanless_diagnostics_render_without_a_snippet() {
+        let d = Diagnostic::warning("GNT005", "2 productions where 1 suffices");
+        let text = render_text(&d, "t.minif", "");
+        assert!(text.starts_with("warning[GNT005]"), "{text}");
+        assert!(!text.contains('^'), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_reports_spans() {
+        let src = "say \"hi\"\n";
+        let d = Diagnostic::error("GNT011", "dead \"comm\"").with_span(Span::new(0, 8));
+        let json = render_json(&[d], "a\\b.minif", src);
+        assert!(json.contains("\"code\":\"GNT011\""), "{json}");
+        assert!(json.contains("dead \\\"comm\\\""), "{json}");
+        assert!(json.contains("\"file\":\"a\\\\b.minif\""), "{json}");
+        assert!(json.contains("\"line\":1,\"column\":1"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+    }
+}

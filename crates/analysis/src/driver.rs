@@ -1,0 +1,276 @@
+//! The `gnt-lint` driver: parse a MiniF program, run the full pipeline
+//! (analysis → placement → communication plan), and lint every layer.
+//!
+//! The driver is what the CLI binary wraps; it is equally usable as a
+//! library (see `examples/lint_report.rs` at the workspace root).
+
+use crate::comm_lint::{lint_plan, CommLintOptions};
+use crate::diag::{attach_spans, Diagnostic, Severity};
+use crate::invariants::lint_graph;
+use crate::placement::{lint_placement, PlacementLintOptions};
+use gnt_cfg::{node_spans, reversed_graph, DotOverlay};
+use gnt_comm::{analyze, generate, CommConfig, CommPlan};
+use gnt_core::{check_balance, check_sufficiency, shift_off_synthetic, solve, SolverOptions};
+use gnt_ir::{Program, StmtKind};
+use std::fmt;
+
+/// Which communication problems to lint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProblemSelect {
+    /// Only the BEFORE (READ) problem.
+    Before,
+    /// Only the AFTER (WRITE) problem.
+    After,
+    /// Both (the default).
+    #[default]
+    Both,
+}
+
+/// Output format for the CLI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable rustc-style text.
+    #[default]
+    Text,
+    /// Machine-readable JSON array.
+    Json,
+}
+
+/// Options controlling a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// Which communication problems to lint.
+    pub select: ProblemSelect,
+    /// Diagnostic codes to deny (`"all"` denies everything). Errors
+    /// always fail the run; denied warnings fail it too.
+    pub deny: Vec<String>,
+    /// Distributed arrays; `None` auto-detects every subscripted name.
+    pub distributed: Option<Vec<String>>,
+    /// Also lint zero-trip executions (reported as warnings).
+    pub zero_trip: bool,
+}
+
+/// The outcome of linting one program.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// All diagnostics, errors first, in stable order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The communication plan the program was linted against.
+    pub plan: CommPlan,
+}
+
+impl LintReport {
+    /// `true` if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics failing the run under `deny`.
+    pub fn denied(&self, deny: &[String]) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| {
+                d.severity == Severity::Error
+                    || deny
+                        .iter()
+                        .any(|c| c == d.code || c.eq_ignore_ascii_case("all"))
+            })
+            .count()
+    }
+
+    /// Process exit code under `deny`: 0 clean, 1 denied findings.
+    pub fn exit_code(&self, deny: &[String]) -> i32 {
+        i32::from(self.denied(deny) > 0)
+    }
+
+    /// A Graphviz overlay marking every diagnostic-carrying node, for
+    /// [`gnt_cfg::to_dot`].
+    pub fn overlay(&self) -> DotOverlay {
+        let mut overlay = DotOverlay::new();
+        for d in &self.diagnostics {
+            if let Some(n) = d.node {
+                overlay.add(n, format!("{}: {}", d.code, d.message));
+            }
+        }
+        overlay
+    }
+}
+
+/// A failure to lint at all (as opposed to lint findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// The source failed to parse.
+    Parse(gnt_ir::ParseError),
+    /// The pipeline itself failed (graph construction, plan generation).
+    Pipeline(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Parse(e) => write!(f, "parse error: {e}"),
+            LintError::Pipeline(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Auto-detects distributed arrays: every name used with a subscript
+/// anywhere in the program, in first-appearance order.
+pub fn detect_distributed(program: &Program) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut add = |n: &str| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for (_, stmt) in program.iter() {
+        let mut exprs: Vec<&gnt_ir::Expr> = Vec::new();
+        match &stmt.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                if let gnt_ir::LValue::Element(name, idx) = lhs {
+                    add(name);
+                    exprs.push(idx);
+                }
+                exprs.push(rhs);
+            }
+            StmtKind::Do { lo, hi, .. } => exprs.extend([lo, hi]),
+            StmtKind::If { cond, .. } | StmtKind::IfGoto { cond, .. } => exprs.push(cond),
+            StmtKind::Goto(_) | StmtKind::Continue => {}
+        }
+        for e in exprs {
+            for (name, _) in e.subscripted_refs() {
+                add(name);
+            }
+        }
+    }
+    names
+}
+
+/// Lints `program` end to end and returns every finding with source
+/// spans attached (when the program was parsed).
+///
+/// # Errors
+///
+/// Fails only when the pipeline itself cannot run (irreducible control
+/// flow, plan generation failure) — lint findings are not errors.
+pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport, LintError> {
+    let distributed = opts
+        .distributed
+        .clone()
+        .unwrap_or_else(|| detect_distributed(program));
+    let refs: Vec<&str> = distributed.iter().map(String::as_str).collect();
+    let analysis = analyze(program, &CommConfig::distributed(&refs))
+        .map_err(|e| LintError::Pipeline(e.to_string()))?;
+    let plan = generate(analysis).map_err(|e| LintError::Pipeline(e.to_string()))?;
+    let graph = &plan.analysis.graph;
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    // Layer 1: structural invariants of both graph orientations.
+    diagnostics.extend(lint_graph(graph, false));
+    match reversed_graph(graph) {
+        Ok(rev) => diagnostics.extend(lint_graph(&rev, true)),
+        Err(e) => diagnostics.push(
+            Diagnostic::error("GNT010", format!("the graph cannot be reversed: {e}"))
+                .at(graph.root()),
+        ),
+    }
+
+    let item_names: Vec<String> = plan
+        .analysis
+        .universe
+        .iter()
+        .map(|(_, r)| r.to_string())
+        .collect();
+
+    // Layer 2: placement criteria of the READ (BEFORE) problem, linted
+    // on the same shifted solution the plan was emitted from.
+    if opts.select != ProblemSelect::After {
+        let mut sol = solve(
+            graph,
+            &plan.analysis.read_problem,
+            &SolverOptions::default(),
+        );
+        shift_off_synthetic(graph, &mut sol.eager);
+        shift_off_synthetic(graph, &mut sol.lazy);
+        let popts = PlacementLintOptions {
+            zero_trip: opts.zero_trip,
+            item_names: item_names.clone(),
+            ..Default::default()
+        };
+        diagnostics.extend(lint_placement(
+            graph,
+            &plan.analysis.read_problem,
+            &sol.eager,
+            &sol.lazy,
+            &popts,
+        ));
+    }
+
+    // The WRITE (AFTER) problem is solved on the reversed graph; check
+    // its criteria over the reversed flow like the core verifiers do.
+    if opts.select != ProblemSelect::Before {
+        match gnt_core::solve_after(
+            graph,
+            &plan.analysis.write_problem,
+            &SolverOptions::default(),
+        ) {
+            Ok(after) => {
+                let mut problem = plan.analysis.write_problem.clone();
+                problem.resize_nodes(after.reversed.num_nodes());
+                for v in check_sufficiency(&after.reversed, &problem, &after.solution.eager, true)
+                    .into_iter()
+                    .chain(check_balance(
+                        &after.reversed,
+                        &problem,
+                        &after.solution.eager,
+                        &after.solution.lazy,
+                    ))
+                {
+                    diagnostics.push(crate::placement::violation_to_diag(&v, &item_names));
+                }
+            }
+            Err(e) => diagnostics.push(
+                Diagnostic::error("GNT010", format!("the WRITE problem cannot be solved: {e}"))
+                    .at(graph.root()),
+            ),
+        }
+    }
+
+    // Layer 3: the communication plan itself — dead/redundant transfers
+    // and the race/deadlock replay.
+    let copts = CommLintOptions {
+        reads: opts.select != ProblemSelect::After,
+        writes: opts.select != ProblemSelect::Before,
+        zero_trip: opts.zero_trip,
+        ..Default::default()
+    };
+    diagnostics.extend(lint_plan(&plan, &copts));
+
+    let spans = node_spans(program, graph);
+    attach_spans(&mut diagnostics, &spans);
+    diagnostics.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.severity),
+            d.code,
+            d.node.map_or(usize::MAX, gnt_cfg::NodeId::index),
+        )
+    });
+    Ok(LintReport { diagnostics, plan })
+}
+
+/// Parses `src` and lints it; the convenience entry point used by the
+/// CLI and tests.
+///
+/// # Errors
+///
+/// Fails on parse errors and pipeline failures (see [`lint_program`]).
+pub fn lint_source(src: &str, opts: &LintOptions) -> Result<(Program, LintReport), LintError> {
+    let program = gnt_ir::parse(src).map_err(LintError::Parse)?;
+    let report = lint_program(&program, opts)?;
+    Ok((program, report))
+}

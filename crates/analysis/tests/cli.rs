@@ -1,0 +1,158 @@
+//! Integration tests for the `gnt-lint` binary: exit codes, `--deny`,
+//! output formats, and the registry subcommands.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const FIG1: &str = "do i = 1, N\n  y(i) = ...\nenddo\n\
+                    if test then\n  do k = 1, N\n    ... = x(a(k))\n  enddo\n\
+                    else\n  do l = 1, N\n    ... = x(a(l))\n  enddo\nendif";
+
+fn write_fixture(name: &str, src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gnt-lint-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, src).expect("fixture written");
+    path
+}
+
+fn gnt_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gnt-lint"))
+        .args(args)
+        .output()
+        .expect("gnt-lint runs")
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+}
+
+#[test]
+fn zero_trip_warnings_do_not_fail_by_default() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--zero-trip"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("warning[GNT"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("-->"),
+        "rustc-style span line, stdout: {stdout}"
+    );
+}
+
+#[test]
+fn denied_warning_exits_nonzero() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--zero-trip", "--deny", "GNT003"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn deny_all_denies_every_warning() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--zero-trip", "--deny", "all"]);
+    assert_eq!(out.status.code(), Some(1));
+    // Without findings, --deny all still exits 0.
+    let out = gnt_lint(&[file.to_str().unwrap(), "--deny", "all"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn unknown_deny_code_exits_two() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--deny", "GNT999"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("GNT999"));
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--zero-trip", "--format=json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0));
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "stdout: {stdout}"
+    );
+    assert!(trimmed.contains("\"code\":\"GNT003\""), "stdout: {stdout}");
+    assert!(
+        trimmed.contains("\"severity\":\"warning\""),
+        "stdout: {stdout}"
+    );
+    assert!(trimmed.contains("\"notes\":["), "stdout: {stdout}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = gnt_lint(&["/nonexistent/gnt-lint-test.minif"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn parse_error_exits_two() {
+    let file = write_fixture("broken.minif", "do i = 1, N\n  a = 1\n");
+    let out = gnt_lint(&[file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = gnt_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn explain_and_list_codes() {
+    let out = gnt_lint(&["--explain", "GNT004"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("GNT004"), "stdout: {stdout}");
+    assert!(
+        stdout.to_lowercase().contains("redundant"),
+        "stdout: {stdout}"
+    );
+
+    let out = gnt_lint(&["--list-codes"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for code in [
+        "GNT001", "GNT007", "GNT010", "GNT011", "GNT012", "GNT020", "GNT021", "GNT022",
+    ] {
+        assert!(stdout.contains(code), "missing {code} in: {stdout}");
+    }
+}
+
+#[test]
+fn dot_overlay_is_written() {
+    let file = write_fixture("fig1.minif", FIG1);
+    let dot = std::env::temp_dir()
+        .join("gnt-lint-cli-tests")
+        .join("fig1.dot");
+    let out = gnt_lint(&[
+        file.to_str().unwrap(),
+        "--zero-trip",
+        "--dot",
+        dot.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let dot_src = std::fs::read_to_string(&dot).expect("dot file written");
+    assert!(dot_src.contains("digraph"), "dot: {dot_src}");
+    assert!(
+        dot_src.contains("GNT003"),
+        "overlay marks findings: {dot_src}"
+    );
+}

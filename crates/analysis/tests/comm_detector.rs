@@ -1,0 +1,240 @@
+//! The communication race/deadlock detector on mutated plans: every
+//! `GNT01x`/`GNT02x` failure shape is detected, and the generator's own
+//! plans for all bench kernels replay clean.
+
+use gnt_analyze::comm_lint::{lint_plan, CommLintOptions};
+use gnt_analyze::invariants::lint_graph;
+use gnt_bench::{plan_for, KERNELS};
+use gnt_cfg::reversed_graph;
+use gnt_comm::{CommOp, CommPlan, OpKind};
+
+fn kernel_plan(name: &str) -> CommPlan {
+    let kernel = KERNELS
+        .iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("no kernel {name}"));
+    plan_for(kernel).1
+}
+
+/// Locations `(node index, before?, op)` of every op of `kind`.
+fn find_ops(plan: &CommPlan, kind: OpKind) -> Vec<(usize, bool, CommOp)> {
+    plan.ops()
+        .filter(|(_, _, op)| op.kind == kind)
+        .map(|(n, before, op)| (n.index(), before, op))
+        .collect()
+}
+
+fn remove_op(plan: &mut CommPlan, at: (usize, bool, CommOp)) {
+    let (i, before, op) = at;
+    let slot = if before {
+        &mut plan.before[i]
+    } else {
+        &mut plan.after[i]
+    };
+    let pos = slot
+        .iter()
+        .position(|o| o.kind == op.kind && o.item == op.item)
+        .expect("op to remove exists");
+    slot.remove(pos);
+}
+
+fn codes(plan: &CommPlan) -> Vec<&'static str> {
+    lint_plan(plan, &CommLintOptions::default())
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+/// The generator's own plans replay without any finding, and both graph
+/// orientations satisfy the §3.3/§3.4 invariants.
+#[test]
+fn kernel_plans_are_clean() {
+    for kernel in KERNELS {
+        let plan = plan_for(kernel).1;
+        let diags = lint_plan(&plan, &CommLintOptions::default());
+        assert!(diags.is_empty(), "{}: {diags:?}", kernel.name);
+        assert!(
+            lint_graph(&plan.analysis.graph, false).is_empty(),
+            "{}",
+            kernel.name
+        );
+        let rev = reversed_graph(&plan.analysis.graph).expect("kernel graphs reverse");
+        assert!(
+            lint_graph(&rev, true).is_empty(),
+            "{} (reversed)",
+            kernel.name
+        );
+    }
+}
+
+/// Dropping one branch's `READ_recv` leaves the message in flight at
+/// the end of the paths through that branch: a message leak.
+#[test]
+fn dropped_recv_is_a_leak_gnt020() {
+    let mut plan = kernel_plan("fig1");
+    let recvs = find_ops(&plan, OpKind::ReadRecv);
+    assert!(recvs.len() >= 2, "fig1 receives in both branches");
+    remove_op(&mut plan, recvs[0]);
+    let codes = codes(&plan);
+    assert!(codes.contains(&"GNT020"), "got {codes:?}");
+    assert!(!codes.contains(&"GNT021"), "the other branch still matches");
+}
+
+/// Dropping the `READ_send` makes every receive block on a message that
+/// was never sent: deadlock potential on all paths.
+#[test]
+fn dropped_send_is_a_deadlock_gnt021() {
+    let mut plan = kernel_plan("fig1");
+    let sends = find_ops(&plan, OpKind::ReadSend);
+    assert_eq!(sends.len(), 1, "fig1 has one hoisted send");
+    remove_op(&mut plan, sends[0]);
+    let codes = codes(&plan);
+    assert!(codes.contains(&"GNT021"), "got {codes:?}");
+}
+
+/// Duplicating the send re-sends data that is already in flight.
+#[test]
+fn duplicated_send_is_redundant_gnt012() {
+    let mut plan = kernel_plan("fig1");
+    let (i, before, op) = find_ops(&plan, OpKind::ReadSend)[0];
+    let slot = if before {
+        &mut plan.before[i]
+    } else {
+        &mut plan.after[i]
+    };
+    slot.push(op);
+    let diags = lint_plan(&plan, &CommLintOptions::default());
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].code, "GNT012");
+    assert!(diags[0].message.contains("in flight"));
+}
+
+/// Re-communicating after the receive completed is also redundant (the
+/// data is locally available).
+#[test]
+fn resend_after_recv_is_redundant_gnt012() {
+    let mut plan = kernel_plan("fig3");
+    let (i, before, op) = *find_ops(&plan, OpKind::ReadRecv)
+        .last()
+        .expect("fig3 receives");
+    // A fresh send/recv pair right after the last receive completed.
+    let slot = if before {
+        &mut plan.before[i]
+    } else {
+        &mut plan.after[i]
+    };
+    slot.push(CommOp {
+        kind: OpKind::ReadSend,
+        item: op.item,
+    });
+    slot.push(CommOp {
+        kind: OpKind::ReadRecv,
+        item: op.item,
+    });
+    let diags = lint_plan(&plan, &CommLintOptions::default());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "GNT012" && d.message.contains("available")),
+        "got {diags:?}"
+    );
+}
+
+/// A write-back launched while an overlapping read transfer is still in
+/// flight races with it.
+#[test]
+fn overlapping_windows_race_gnt022() {
+    let mut plan = kernel_plan("jacobi");
+    let wsends = find_ops(&plan, OpKind::WriteSend);
+    let rsends = find_ops(&plan, OpKind::ReadSend);
+    assert!(
+        !wsends.is_empty() && !rsends.is_empty(),
+        "jacobi has both transfer kinds"
+    );
+    // Launch a copy of the write-back right after the read send, while
+    // the read of the aliasing `u` section is still in flight.
+    let (i, before, _) = rsends[0];
+    let wop = wsends[0].2;
+    let slot = if before {
+        &mut plan.before[i]
+    } else {
+        &mut plan.after[i]
+    };
+    slot.push(wop);
+    let diags = lint_plan(&plan, &CommLintOptions::default());
+    assert!(diags.iter().any(|d| d.code == "GNT022"), "got {diags:?}");
+    let race = diags.iter().find(|d| d.code == "GNT022").unwrap();
+    assert!(race
+        .notes
+        .iter()
+        .any(|n| n.contains("conflicting transfer")));
+}
+
+/// A send whose receive kind never appears anywhere in the plan is dead
+/// communication.
+#[test]
+fn send_without_any_recv_is_dead_gnt011() {
+    let mut plan = kernel_plan("fig1");
+    for recv in find_ops(&plan, OpKind::ReadRecv) {
+        remove_op(&mut plan, recv);
+    }
+    let codes = codes(&plan);
+    assert!(codes.contains(&"GNT011"), "got {codes:?}");
+}
+
+/// A communicated item that no statement consumes is dead even when the
+/// send/recv pair matches up.
+#[test]
+fn unconsumed_item_is_dead_gnt011() {
+    let mut plan = kernel_plan("fig1");
+    for bits in &mut plan.analysis.read_problem.take_init {
+        bits.clear();
+    }
+    let diags = lint_plan(&plan, &CommLintOptions::default());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "GNT011" && d.message.contains("no statement consumes")),
+        "got {diags:?}"
+    );
+}
+
+/// `--before`/`--after` style selection: read-side findings disappear
+/// when reads are not replayed.
+#[test]
+fn selection_filters_families() {
+    let mut plan = kernel_plan("fig1");
+    let sends = find_ops(&plan, OpKind::ReadSend);
+    remove_op(&mut plan, sends[0]);
+    let all = lint_plan(&plan, &CommLintOptions::default());
+    assert!(all.iter().any(|d| d.code == "GNT021"));
+    let writes_only = lint_plan(
+        &plan,
+        &CommLintOptions {
+            reads: false,
+            ..Default::default()
+        },
+    );
+    assert!(writes_only.is_empty(), "got {writes_only:?}");
+}
+
+/// Zero-trip findings are downgraded to warnings and explained.
+#[test]
+fn zero_trip_findings_are_warnings() {
+    use gnt_analyze::Severity;
+    let plan = kernel_plan("fig1");
+    let diags = lint_plan(
+        &plan,
+        &CommLintOptions {
+            zero_trip: true,
+            ..Default::default()
+        },
+    );
+    for d in &diags {
+        assert_eq!(d.severity, Severity::Warning, "{d:?}");
+        assert!(
+            d.notes.iter().any(|n| n.contains("zero iterations")),
+            "{d:?}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Property: the linter accepts the solver's own output — on random
+//! placement problems over random structured programs, and end to end
+//! through the `gnt-lint` driver pipeline.
+
+use gnt_analyze::driver::{lint_program, LintOptions};
+use gnt_analyze::placement::{lint_placement, PlacementLintOptions};
+use gnt_cfg::IntervalGraph;
+use gnt_core::{
+    random_problem, random_program, shift_off_synthetic, solve, GenConfig, SolverOptions,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// 1000 random programs with random consumption patterns: the
+    /// solved-and-shifted placement produces zero diagnostics.
+    #[test]
+    fn solver_output_lints_clean(
+        pseed in 0u64..20_000,
+        qseed in 0u64..5_000,
+        items in 1usize..4,
+        density in 0u32..100,
+    ) {
+        let program = random_program(pseed, &GenConfig::default());
+        let graph = IntervalGraph::from_program(&program).unwrap();
+        let problem = random_problem(qseed, &graph, items, f64::from(density) / 100.0);
+        let mut sol = solve(&graph, &problem, &SolverOptions::default());
+        shift_off_synthetic(&graph, &mut sol.eager);
+        shift_off_synthetic(&graph, &mut sol.lazy);
+        let diags = lint_placement(
+            &graph,
+            &problem,
+            &sol.eager,
+            &sol.lazy,
+            &PlacementLintOptions::default(),
+        );
+        prop_assert!(diags.is_empty(), "solver output flagged: {diags:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// End to end: random programs through the whole `gnt-lint` pipeline
+    /// (analysis, both placement problems, the communication-plan replay)
+    /// lint clean and exit 0.
+    #[test]
+    fn driver_pipeline_is_clean_on_random_programs(pseed in 0u64..20_000) {
+        let program = random_program(pseed, &GenConfig::default());
+        let report = lint_program(&program, &LintOptions::default())
+            .expect("pipeline runs on random programs");
+        prop_assert!(
+            report.diagnostics.is_empty(),
+            "driver flagged solver output: {:?}",
+            report.diagnostics
+        );
+        prop_assert_eq!(report.exit_code(&[]), 0);
+    }
+}

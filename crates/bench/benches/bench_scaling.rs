@@ -26,11 +26,9 @@ fn bench_graph_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("interval_graph");
     for target in [100usize, 1600] {
         let program = sized_program(target);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(target),
-            &program,
-            |b, p| b.iter(|| IntervalGraph::from_program(p).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(target), &program, |b, p| {
+            b.iter(|| IntervalGraph::from_program(p).unwrap())
+        });
     }
     group.finish();
 }

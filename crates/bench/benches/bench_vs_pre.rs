@@ -24,9 +24,7 @@ fn bench_vs_pre(c: &mut Criterion) {
     group.bench_function("lazy_code_motion", |b| {
         b.iter(|| lazy_code_motion(&flow, &pre))
     });
-    group.bench_function("morel_renvoise", |b| {
-        b.iter(|| morel_renvoise(&flow, &pre))
-    });
+    group.bench_function("morel_renvoise", |b| b.iter(|| morel_renvoise(&flow, &pre)));
     group.finish();
 }
 

@@ -69,7 +69,10 @@ fn ablation_shift() {
         "{:>8} {:>22} {:>22}",
         "", "synthetic productions", "synthetic productions"
     );
-    println!("{:>8} {:>22} {:>22}", "kernel", "without shift", "with shift");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "kernel", "without shift", "with shift"
+    );
     rule(56);
     for kernel in KERNELS {
         let program = gnt_ir::parse(kernel.source).unwrap();

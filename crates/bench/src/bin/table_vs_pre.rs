@@ -88,13 +88,12 @@ fn main() {
         "engine", "Σ path computations", "analysis (ms)"
     );
     rule(52);
-    for (name, i) in [("GIVE-N-TAKE", 0), ("lazy code motion", 1), ("Morel-Renvoise", 2)] {
-        println!(
-            "{:>16} {:>18} {:>14.2}",
-            name,
-            totals[i],
-            times[i] * 1e3
-        );
+    for (name, i) in [
+        ("GIVE-N-TAKE", 0),
+        ("lazy code motion", 1),
+        ("Morel-Renvoise", 2),
+    ] {
+        println!("{:>16} {:>18} {:>14.2}", name, totals[i], times[i] * 1e3);
     }
     println!(
         "\nGIVE-N-TAKE strictly beat node-granular LCM on {wins_vs_lcm} of {programs} programs\n\

@@ -252,18 +252,14 @@ mod tests {
         let after = l
             .cfg
             .nodes()
-            .find(|&n| {
-                matches!(l.cfg.kind(n), NodeKind::Stmt(_)) && l.cfg.preds(n).len() == 2
-            })
+            .find(|&n| matches!(l.cfg.kind(n), NodeKind::Stmt(_)) && l.cfg.preds(n).len() == 2)
             .unwrap();
         assert!(l.cfg.preds(after).contains(&branch));
     }
 
     #[test]
     fn goto_out_of_loop_creates_jump_edge() {
-        let l = lower_src(
-            "do i = 1, N\n  if test(i) goto 77\n  a = 1\nenddo\n77 continue",
-        );
+        let l = lower_src("do i = 1, N\n  if test(i) goto 77\n  a = 1\nenddo\n77 continue");
         let branch = l
             .cfg
             .nodes()
@@ -308,9 +304,7 @@ mod tests {
 
     #[test]
     fn nested_loops_nest_back_edges() {
-        let l = lower_src(
-            "do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo",
-        );
+        let l = lower_src("do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo");
         let headers: Vec<_> = l
             .cfg
             .nodes()

@@ -1,27 +1,82 @@
 //! Graphviz export of interval flow graphs, for debugging and docs.
 //!
 //! Nodes are labeled with their kind and level; edges with their class
-//! (SYNTHETIC edges dashed, CYCLE edges dotted). Loop members share a
-//! cluster per innermost interval.
+//! (SYNTHETIC edges dashed, CYCLE edges dotted). An optional
+//! [`DotOverlay`] highlights nodes carrying diagnostics (e.g. `gnt-lint`
+//! findings) and appends their messages to the node label.
 
 use crate::graph::NodeKind;
 use crate::interval::{EdgeClass, IntervalGraph};
+use crate::NodeId;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// Renders `graph` in Graphviz `dot` syntax.
+/// Per-node annotations rendered into the Graphviz output: annotated
+/// nodes are filled and their annotation lines appended to the label.
+/// Used by `gnt-analyze` to visualize lint findings on the graph.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_cfg::{to_dot, DotOverlay, IntervalGraph};
+///
+/// let p = gnt_ir::parse("a = 1")?;
+/// let g = IntervalGraph::from_program(&p)?;
+/// let mut overlay = DotOverlay::new();
+/// overlay.add(g.root(), "GNT003: unsafe production");
+/// let dot = to_dot(&g, Some(&overlay));
+/// assert!(dot.contains("GNT003"));
+/// assert!(dot.contains("fillcolor"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DotOverlay {
+    notes: HashMap<NodeId, Vec<String>>,
+}
+
+impl DotOverlay {
+    /// An empty overlay.
+    pub fn new() -> DotOverlay {
+        DotOverlay::default()
+    }
+
+    /// Attaches an annotation line to node `n`.
+    pub fn add(&mut self, n: NodeId, note: impl Into<String>) {
+        self.notes.entry(n).or_default().push(note.into());
+    }
+
+    /// True if no node carries an annotation.
+    pub fn is_empty(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// The annotation lines for node `n`.
+    pub fn notes(&self, n: NodeId) -> &[String] {
+        self.notes.get(&n).map_or(&[], Vec::as_slice)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `graph` in Graphviz `dot` syntax; nodes present in `overlay`
+/// are filled and annotated with their diagnostic lines.
 ///
 /// # Examples
 ///
 /// ```
 /// let p = gnt_ir::parse("do i = 1, N\n  y(i) = ...\nenddo")?;
 /// let g = gnt_cfg::IntervalGraph::from_program(&p)?;
-/// let dot = gnt_cfg::to_dot(&g);
+/// let dot = gnt_cfg::to_dot(&g, None);
 /// assert!(dot.starts_with("digraph"));
 /// assert!(dot.contains("style=dotted")); // the CYCLE edge
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn to_dot(graph: &IntervalGraph) -> String {
-    let mut out = String::from("digraph interval_flow_graph {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+pub fn to_dot(graph: &IntervalGraph, overlay: Option<&DotOverlay>) -> String {
+    let mut out = String::from(
+        "digraph interval_flow_graph {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n",
+    );
     for n in graph.nodes() {
         let kind = match graph.kind(n) {
             NodeKind::Entry => "ROOT".to_string(),
@@ -38,15 +93,17 @@ pub fn to_dot(graph: &IntervalGraph) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{} | {}\\nlevel {}\"{}];",
-            n.index(),
-            n,
-            kind,
-            graph.level(n),
-            shape
-        );
+        let notes = overlay.map_or(&[][..], |o| o.notes(n));
+        let mut label = format!("{} | {}\\nlevel {}", n, kind, graph.level(n));
+        for note in notes {
+            let _ = write!(label, "\\n{}", escape(note));
+        }
+        let fill = if notes.is_empty() {
+            ""
+        } else {
+            ", style=filled, fillcolor=lightpink"
+        };
+        let _ = writeln!(out, "  {} [label=\"{label}\"{shape}{fill}];", n.index());
     }
     for m in graph.nodes() {
         for (s, c) in graph.succ_edges(m) {
@@ -71,12 +128,9 @@ mod tests {
 
     #[test]
     fn dot_output_covers_all_nodes_and_edge_classes() {
-        let p = gnt_ir::parse(
-            "do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2",
-        )
-        .unwrap();
+        let p = gnt_ir::parse("do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2").unwrap();
         let g = IntervalGraph::from_program(&p).unwrap();
-        let dot = to_dot(&g);
+        let dot = to_dot(&g, None);
         for n in g.nodes() {
             assert!(dot.contains(&format!("  {} [", n.index())));
         }
@@ -84,5 +138,24 @@ mod tests {
         assert!(dot.contains("label=\"S\""), "synthetic edge rendered");
         assert!(dot.contains("label=\"C\""), "cycle edge rendered");
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn overlay_colors_and_annotates_nodes() {
+        let p = gnt_ir::parse("a = 1\nb = 2").unwrap();
+        let g = IntervalGraph::from_program(&p).unwrap();
+        let plain = to_dot(&g, None);
+        assert!(!plain.contains("fillcolor"));
+
+        let node = g.nodes().nth(1).unwrap();
+        let mut overlay = DotOverlay::new();
+        overlay.add(node, "GNT001: consumer may be \"unfed\"");
+        let dot = to_dot(&g, Some(&overlay));
+        assert!(dot.contains("fillcolor=lightpink"));
+        assert!(dot.contains("GNT001"));
+        // Quotes in notes are escaped.
+        assert!(dot.contains("\\\"unfed\\\""));
+        // Only the annotated node is filled.
+        assert_eq!(dot.matches("fillcolor").count(), 1);
     }
 }

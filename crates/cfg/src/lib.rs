@@ -40,13 +40,39 @@ mod interval;
 mod reverse;
 
 pub use build::{lower, BuildError, LoweredCfg};
-pub use dot::to_dot;
 pub use dom::{
     back_edges, make_reducible, Dominators, IrreducibleError, LoopForest, LoopId, LoopInfo,
 };
+pub use dot::{to_dot, DotOverlay};
 pub use graph::{Cfg, NodeId, NodeKind, SynthKind};
 pub use interval::{EdgeClass, EdgeMask, GraphError, IntervalGraph};
 pub use reverse::reversed_graph;
+
+/// Maps every node of `graph` to the source span of the statement it was
+/// lowered from, if any: the node→span table consumed by diagnostics
+/// (`gnt-analyze`). Synthetic nodes, ROOT/EXIT, and statements built
+/// programmatically (no parse spans) map to `None`.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_cfg::{node_spans, IntervalGraph, NodeKind};
+///
+/// let src = "a = 1\nb = 2";
+/// let p = gnt_ir::parse(src)?;
+/// let g = IntervalGraph::from_program(&p)?;
+/// let spans = node_spans(&p, &g);
+/// let stmt = g.nodes().find(|&n| matches!(g.kind(n), NodeKind::Stmt(_))).unwrap();
+/// assert_eq!(spans[stmt.index()].unwrap().slice(src), "a = 1");
+/// assert_eq!(spans[g.root().index()], None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn node_spans(program: &gnt_ir::Program, graph: &IntervalGraph) -> Vec<Option<gnt_ir::Span>> {
+    graph
+        .nodes()
+        .map(|n| graph.kind(n).stmt().and_then(|s| program.span(s)))
+        .collect()
+}
 
 /// Adjacency-materialized view of a [`Cfg`] implementing
 /// [`gnt_dataflow::FlowGraph`], so the generic iterative solver can run
@@ -151,10 +177,7 @@ mod flow_tests {
 
     #[test]
     fn interval_flow_drops_synthetic_and_virtual_edges() {
-        let p = gnt_ir::parse(
-            "do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2",
-        )
-        .unwrap();
+        let p = gnt_ir::parse("do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2").unwrap();
         let g = IntervalGraph::from_program(&p).unwrap();
         let flow = CfgFlow::from_interval(&g);
         // No edge into the root in the materialized flow.

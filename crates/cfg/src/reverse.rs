@@ -100,11 +100,7 @@ pub fn reversed_graph(g: &IntervalGraph) -> Result<IntervalGraph, GraphError> {
 /// Creates a bare CFG with the same node set as `g`, entry at `g.exit()`
 /// and exit at `g.root()`.
 fn rebuild_nodes(g: &IntervalGraph) -> Cfg {
-    Cfg::with_nodes(
-        g.nodes().map(|n| g.kind(n)).collect(),
-        g.exit(),
-        g.root(),
-    )
+    Cfg::with_nodes(g.nodes().map(|n| g.kind(n)).collect(), g.exit(), g.root())
 }
 
 #[cfg(test)]
@@ -155,9 +151,7 @@ mod tests {
 
     #[test]
     fn jump_out_becomes_jump_in_and_records_sources() {
-        let g = fwd(
-            "do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2",
-        );
+        let g = fwd("do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2");
         let header = g.nodes().find(|&n| g.is_loop_header(n)).unwrap();
         let r = reversed_graph(&g).unwrap();
         let jump_ins = r
@@ -169,14 +163,15 @@ mod tests {
         // The jump-in source is recorded with the bypassed header so the
         // solver can extend Eq. 11 (§5.3).
         assert_eq!(r.jump_in_sources(header).len(), 1);
-        assert!(!r.is_poisoned(header), "poisoning is now the solver's fallback");
+        assert!(
+            !r.is_poisoned(header),
+            "poisoning is now the solver's fallback"
+        );
     }
 
     #[test]
     fn no_jump_edges_in_reversed_graph() {
-        let g = fwd(
-            "do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2",
-        );
+        let g = fwd("do i = 1, N\n  if t(i) goto 7\n  a = 1\nenddo\n7 b = 2");
         let r = reversed_graph(&g).unwrap();
         let jumps = r
             .nodes()
@@ -188,9 +183,7 @@ mod tests {
 
     #[test]
     fn nested_loops_reverse_with_nesting_intact() {
-        let g = fwd(
-            "do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo",
-        );
+        let g = fwd("do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo");
         let r = reversed_graph(&g).unwrap();
         let headers: Vec<_> = g.nodes().filter(|&n| g.is_loop_header(n)).collect();
         for &h in &headers {
@@ -201,9 +194,7 @@ mod tests {
 
     #[test]
     fn reversed_preorder_respects_headers() {
-        let g = fwd(
-            "do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo\nc = 1",
-        );
+        let g = fwd("do i = 1, N\n  do j = 1, M\n    x(j) = 1\n  enddo\nenddo\nc = 1");
         let r = reversed_graph(&g).unwrap();
         for n in r.nodes() {
             for &h in r.enclosing_headers(n) {

@@ -33,20 +33,21 @@ fn check_invariants(g: &IntervalGraph, reversed: bool) -> Result<(), String> {
         }
         for (s, c) in g.succ_edges(n) {
             match c {
-                EdgeClass::Jump => {
+                EdgeClass::Jump
                     // Jump sinks have only the jump predecessor (CEF-wise).
-                    if g.preds(s, EdgeMask::CEF).count() != 0 {
+                    if g.preds(s, EdgeMask::CEF).count() != 0 => {
                         return Err(format!("jump sink {s} has CEF preds"));
                     }
-                }
                 EdgeClass::JumpIn if !reversed => {
                     return Err(format!("JumpIn on forward graph at {n}"));
                 }
                 _ => {}
             }
             // Preorder: F/J/S edges go forward, headers precede members.
-            if matches!(c, EdgeClass::Forward | EdgeClass::Jump | EdgeClass::Synthetic)
-                && g.preorder_index(n) >= g.preorder_index(s)
+            if matches!(
+                c,
+                EdgeClass::Forward | EdgeClass::Jump | EdgeClass::Synthetic
+            ) && g.preorder_index(n) >= g.preorder_index(s)
             {
                 return Err(format!("preorder violated on {n} → {s}"));
             }

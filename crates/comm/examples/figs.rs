@@ -1,3 +1,5 @@
+//! Prints the annotated programs for the paper's Figures 1, 3 and 11.
+
 use gnt_comm::{analyze, generate, render, CommConfig};
 
 fn show(name: &str, src: &str, arrays: &[&str]) {

@@ -145,10 +145,7 @@ pub fn analyze(
     let cap = universe.len();
     let mut read_problem = PlacementProblem::new(n, cap);
     let mut write_problem = PlacementProblem::new(n, cap);
-    let items: Vec<(ItemId, DataRef)> = universe
-        .iter()
-        .map(|(id, r)| (id, r.clone()))
-        .collect();
+    let items: Vec<(ItemId, DataRef)> = universe.iter().map(|(id, r)| (id, r.clone())).collect();
 
     for (sid, acc) in &accesses {
         let Some(&node) = node_of_stmt.get(sid) else {

@@ -45,7 +45,10 @@ pub enum OpKind {
 impl OpKind {
     /// `true` for the kinds that start a transfer (sends).
     pub fn is_send(self) -> bool {
-        matches!(self, OpKind::ReadSend | OpKind::WriteSend | OpKind::ReduceSend)
+        matches!(
+            self,
+            OpKind::ReadSend | OpKind::WriteSend | OpKind::ReduceSend
+        )
     }
 
     /// `true` for the fused, blocking kinds.
@@ -177,7 +180,10 @@ pub fn generate_styled(
         let i = node.index();
         for flavor in [&read.eager, &read.lazy] {
             for item in flavor.res_in[i].iter().chain(flavor.res_out[i].iter()) {
-                let read_ref = analysis.universe.resolve(gnt_dataflow::ItemId(item as u32)).clone();
+                let read_ref = analysis
+                    .universe
+                    .resolve(gnt_dataflow::ItemId(item as u32))
+                    .clone();
                 for (w, wref) in &items {
                     if read_ref.may_overlap(wref) {
                         write_problem.steal(node, w.index());
@@ -278,9 +284,7 @@ fn write_kind(
     is_send: bool,
     item: usize,
 ) -> OpKind {
-    let reduction = analysis
-        .reductions
-        .contains_key(&ItemId(item as u32));
+    let reduction = analysis.reductions.contains_key(&ItemId(item as u32));
     match (style, reduction, is_send) {
         (PlacementStyle::Atomic, true, _) => OpKind::ReduceAtomic,
         (PlacementStyle::Atomic, false, _) => OpKind::WriteAtomic,
@@ -463,12 +467,12 @@ mod reduction_tests {
         // And the reduce completes before the read starts wherever they
         // share a slot.
         for slot in plan.before.iter().chain(plan.after.iter()) {
-            let first_read = slot.iter().position(|op| {
-                matches!(op.kind, OpKind::ReadSend | OpKind::ReadRecv)
-            });
-            let last_reduce = slot.iter().rposition(|op| {
-                matches!(op.kind, OpKind::ReduceSend | OpKind::ReduceRecv)
-            });
+            let first_read = slot
+                .iter()
+                .position(|op| matches!(op.kind, OpKind::ReadSend | OpKind::ReadRecv));
+            let last_reduce = slot
+                .iter()
+                .rposition(|op| matches!(op.kind, OpKind::ReduceSend | OpKind::ReduceRecv));
             if let (Some(r), Some(w)) = (first_read, last_reduce) {
                 assert!(w < r);
             }
@@ -477,10 +481,8 @@ mod reduction_tests {
 
     #[test]
     fn atomic_style_emits_single_fused_operations() {
-        let p = parse(
-            "do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo",
-        )
-        .unwrap();
+        let p =
+            parse("do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo").unwrap();
         let a = analyze(&p, &CommConfig::distributed(&["x"])).unwrap();
         let plan = generate_styled(a, PlacementStyle::Atomic).unwrap();
         assert_eq!(plan.count(OpKind::ReadAtomic), 1);

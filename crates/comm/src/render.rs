@@ -199,9 +199,7 @@ impl Renderer<'_> {
             .analysis
             .graph
             .succ_edges(branch)
-            .find(|&(s, c)| {
-                c == EdgeClass::Jump && self.plan.analysis.graph.kind(s).is_synthetic()
-            })
+            .find(|&(s, c)| c == EdgeClass::Jump && self.plan.analysis.graph.kind(s).is_synthetic())
             .map(|(s, _)| s)
     }
 

@@ -139,10 +139,8 @@ fn figure_2_left_vs_right_message_counts() {
 #[test]
 fn reduction_listing_shows_operator() {
     let p = gnt_ir::parse("do i = 1, N\n  x(a(i)) = x(a(i)) + w(i)\nenddo\nb = 1").unwrap();
-    let plan = gnt_comm::generate(
-        gnt_comm::analyze(&p, &CommConfig::distributed(&["x"])).unwrap(),
-    )
-    .unwrap();
+    let plan = gnt_comm::generate(gnt_comm::analyze(&p, &CommConfig::distributed(&["x"])).unwrap())
+        .unwrap();
     let got = render(&p, &plan);
     // The contribution is sent right after the loop; the owner-side
     // combine (EAGER of the AFTER problem — as late as possible) slides
@@ -160,10 +158,8 @@ REDUCE_recv{+, x(a(1:N))}
 
 #[test]
 fn atomic_style_listing_uses_fused_ops() {
-    let p = gnt_ir::parse(
-        "do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo",
-    )
-    .unwrap();
+    let p = gnt_ir::parse("do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo")
+        .unwrap();
     let plan = gnt_comm::generate_styled(
         gnt_comm::analyze(&p, &CommConfig::distributed(&["x"])).unwrap(),
         gnt_comm::PlacementStyle::Atomic,

@@ -12,18 +12,37 @@ fn main() {
     for max_depth in 1..=3 {
         for max_block in 1..=3usize {
             for seed in 0..400u64 {
-                let cfgen = GenConfig { max_depth, max_block_len: max_block, ..Default::default() };
+                let cfgen = GenConfig {
+                    max_depth,
+                    max_block_len: max_block,
+                    ..Default::default()
+                };
                 let p = random_program(seed, &cfgen);
-                let Ok(g) = IntervalGraph::from_program(&p) else { continue };
+                let Ok(g) = IntervalGraph::from_program(&p) else {
+                    continue;
+                };
                 for pseed in 0..6 {
                     let mut prob = random_problem(pseed, &g, 1, 0.5);
                     let after = solve_after(&g, &prob, &SolverOptions::default()).unwrap();
                     prob.resize_nodes(after.reversed.num_nodes());
-                    let mut v = check_sufficiency(&after.reversed, &prob, &after.solution.eager, true);
-                    v.extend(check_sufficiency(&after.reversed, &prob, &after.solution.lazy, true));
-                    v.extend(check_balance(&after.reversed, &prob, &after.solution.eager, &after.solution.lazy));
+                    let mut v =
+                        check_sufficiency(&after.reversed, &prob, &after.solution.eager, true);
+                    v.extend(check_sufficiency(
+                        &after.reversed,
+                        &prob,
+                        &after.solution.lazy,
+                        true,
+                    ));
+                    v.extend(check_balance(
+                        &after.reversed,
+                        &prob,
+                        &after.solution.eager,
+                        &after.solution.lazy,
+                    ));
                     if !v.is_empty() {
-                        println!("FAIL depth={max_depth} block={max_block} seed={seed} pseed={pseed}");
+                        println!(
+                            "FAIL depth={max_depth} block={max_block} seed={seed} pseed={pseed}"
+                        );
                         println!("{}", gnt_ir::pretty(&p));
                         println!("forward:\n{}", g.dump());
                         println!("reversed:\n{}", after.reversed.dump());
@@ -37,10 +56,15 @@ fn main() {
                         }
                         println!("violations {v:?}");
                         for n in after.reversed.nodes() {
-                            for (name, fl) in [("eager", &after.solution.eager), ("lazy", &after.solution.lazy)] {
+                            for (name, fl) in [
+                                ("eager", &after.solution.eager),
+                                ("lazy", &after.solution.lazy),
+                            ] {
                                 let i: Vec<_> = fl.res_in[n.index()].iter().collect();
                                 let o: Vec<_> = fl.res_out[n.index()].iter().collect();
-                                if !(i.is_empty() && o.is_empty()) { println!("{name} res {n}: in{i:?} out{o:?}"); }
+                                if !(i.is_empty() && o.is_empty()) {
+                                    println!("{name} res {n}: in{i:?} out{o:?}");
+                                }
                             }
                         }
                         return;

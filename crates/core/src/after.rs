@@ -134,9 +134,7 @@ mod tests {
             .find(|&n| match g.kind(n) {
                 NodeKind::Stmt(s) | NodeKind::LoopHeader(s) | NodeKind::Branch(s) => {
                     match &p.stmt(s).kind {
-                        StmtKind::Assign { lhs, rhs } => {
-                            format!("{lhs} = {rhs}").contains(needle)
-                        }
+                        StmtKind::Assign { lhs, rhs } => format!("{lhs} = {rhs}").contains(needle),
                         StmtKind::Do { var, .. } => format!("do {var}").contains(needle),
                         _ => false,
                     }
@@ -163,9 +161,7 @@ mod tests {
         // Eager (WRITE_Recv): once, at the reversed ROOT (= original
         // exit): as late as possible in original order.
         assert_eq!(after.num_productions(Flavor::Eager), 1);
-        assert!(after
-            .res_after(Flavor::Eager, g.exit())
-            .contains(0));
+        assert!(after.res_after(Flavor::Eager, g.exit()).contains(0));
     }
 
     #[test]
@@ -202,9 +198,7 @@ mod tests {
 
     #[test]
     fn defs_on_both_branches_meet_below_join() {
-        let (_, g) = graph(
-            "if t then\n  x(1) = 1\nelse\n  x(1) = 2\nendif\nb = 1",
-        );
+        let (_, g) = graph("if t then\n  x(1) = 1\nelse\n  x(1) = 2\nendif\nb = 1");
         let mut problem = PlacementProblem::new(g.num_nodes(), 1);
         // Statement nodes in construction order: x(1)=1, x(1)=2, b=1.
         let defs: Vec<NodeId> = g
@@ -226,9 +220,7 @@ mod tests {
         // sources) still vectorizes: one write on the fall-through exit
         // and one on the jump path — Figure 14's placement — rather than
         // one per iteration; the independent verifiers accept it.
-        let (p, g) = graph(
-            "do i = 1, N\n  x(a(i)) = ...\n  if t(i) goto 7\nenddo\n7 b = 2",
-        );
+        let (p, g) = graph("do i = 1, N\n  x(a(i)) = ...\n  if t(i) goto 7\nenddo\n7 b = 2");
         let def = stmt_node(&g, &p, "x(a(i))");
         let mut problem = PlacementProblem::new(g.num_nodes(), 1);
         problem.take(def, 0);
@@ -243,13 +235,10 @@ mod tests {
         assert_eq!(after.num_productions(Flavor::Lazy), 2);
         let mut p2 = problem.clone();
         p2.resize_nodes(after.reversed.num_nodes());
-        assert!(crate::verify::check_sufficiency(
-            &after.reversed,
-            &p2,
-            &after.solution.lazy,
-            true
-        )
-        .is_empty());
+        assert!(
+            crate::verify::check_sufficiency(&after.reversed, &p2, &after.solution.lazy, true)
+                .is_empty()
+        );
         assert!(crate::verify::check_balance(
             &after.reversed,
             &p2,

@@ -143,8 +143,7 @@ mod tests {
     #[test]
     fn pressure_limit_is_enforced_and_solution_stays_correct() {
         let (g, p) = chain(6);
-        let (s, report) =
-            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 2, 32);
+        let (s, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 2, 32);
         assert!(report.final_max <= 2, "{report:?}");
         assert!(report.steals_inserted > 0);
         assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
@@ -155,8 +154,7 @@ mod tests {
     #[test]
     fn generous_limit_changes_nothing() {
         let (g, p) = chain(4);
-        let (s, report) =
-            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 10, 32);
+        let (s, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 10, 32);
         assert_eq!(report.steals_inserted, 0);
         assert_eq!(report.rounds, 0);
         assert_eq!(s.eager.num_productions(), 4);
@@ -179,8 +177,7 @@ mod tests {
         for i in 0..3 {
             p.take(consumer, i);
         }
-        let (s, report) =
-            solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 0, 8);
+        let (s, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 0, 8);
         assert!(report.rounds <= 8);
         assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
     }

@@ -43,8 +43,8 @@ pub fn shift_off_synthetic(graph: &IntervalGraph, placement: &mut FlavorSolution
         if !graph.kind(s).is_synthetic() {
             continue;
         }
-        let has_res = !placement.res_in[s.index()].is_empty()
-            || !placement.res_out[s.index()].is_empty();
+        let has_res =
+            !placement.res_in[s.index()].is_empty() || !placement.res_out[s.index()].is_empty();
         if !has_res {
             continue;
         }
@@ -107,13 +107,9 @@ pub fn shift_off_synthetic(graph: &IntervalGraph, placement: &mut FlavorSolution
     report
 }
 
-
 /// Non-CYCLE real predecessors of `q` (the edges on which `RES_in(q)`
 /// fires).
-fn q_outside_preds<'a>(
-    graph: &'a IntervalGraph,
-    q: NodeId,
-) -> impl Iterator<Item = NodeId> + 'a {
+fn q_outside_preds<'a>(graph: &'a IntervalGraph, q: NodeId) -> impl Iterator<Item = NodeId> + 'a {
     graph
         .pred_edges(q)
         .filter(|(_, c)| EdgeMask::CEFJ.matches(*c) && *c != gnt_cfg::EdgeClass::Cycle)

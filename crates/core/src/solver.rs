@@ -144,8 +144,7 @@ pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOpt
     // and remain balanced, and downstream consumers get their own
     // production even on zero-trip paths.
     let user_no_hoist = |h: NodeId| -> bool {
-        opts.no_hoist_headers.contains(&h)
-            || (opts.no_zero_trip_hoist && graph.is_loop_header(h))
+        opts.no_hoist_headers.contains(&h) || (opts.no_zero_trip_hoist && graph.is_loop_header(h))
     };
     // Headers explicitly poisoned on the graph get the same treatment.
     let poisoned = |h: NodeId| -> bool { graph.is_poisoned(h) || user_no_hoist(h) };
@@ -167,11 +166,7 @@ pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOpt
             //   (GIVE(c) ∪ TAKE(c) ∪ ∩_{p ∈ PREDS^FJ} GIVE_loc(p)) − STEAL(c)
             let mut give_loc = vars.give[ci].clone();
             give_loc.union_with(&vars.take[ci]);
-            if let Some(meet) = intersect_over(
-                graph.preds(c, EdgeMask::FJ),
-                &vars.give_loc,
-                cap,
-            ) {
+            if let Some(meet) = intersect_over(graph.preds(c, EdgeMask::FJ), &vars.give_loc, cap) {
                 give_loc.union_with(&meet);
             }
             give_loc.subtract_with(&vars.steal[ci]);
@@ -211,9 +206,8 @@ pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOpt
         vars.block[ni] = block;
 
         // Eq. 4: TAKEN_out(n) = ∩_{s ∈ SUCCS^FJS} TAKEN_in(s)
-        vars.taken_out[ni] =
-            intersect_over(graph.succs(node, EdgeMask::FJS), &vars.taken_in, cap)
-                .unwrap_or_else(|| BitSet::new(cap));
+        vars.taken_out[ni] = intersect_over(graph.succs(node, EdgeMask::FJS), &vars.taken_in, cap)
+            .unwrap_or_else(|| BitSet::new(cap));
 
         // Eq. 5: TAKE(n) = TAKE_init
         //   ∪ (⋃_{s ∈ SUCCS^E} TAKEN_in(s) − STEAL(n))
@@ -507,8 +501,7 @@ mod tests {
         let c2 = g
             .nodes()
             .filter(|&n| matches!(g.kind(n), NodeKind::Stmt(_)))
-            .filter(|&n| n != c1 && n != killer)
-            .next()
+            .find(|&n| n != c1 && n != killer)
             .unwrap();
         let mut prob = PlacementProblem::new(g.num_nodes(), 1);
         prob.take(c1, 0).take(c2, 0).steal(killer, 0);

@@ -67,7 +67,7 @@ fn fig4_balance() {
 fn fig5_safety() {
     let g = graph("a = 1\nb = 2");
     let nodes = stmt_nodes(&g);
-    let mut prob = PlacementProblem::new(g.num_nodes(), 1);
+    let prob = PlacementProblem::new(g.num_nodes(), 1);
     // No consumer at all.
     let mut eager = empty_placement(&g, 1);
     eager.res_in[nodes[0].index()].insert(0);

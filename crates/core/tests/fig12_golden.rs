@@ -39,19 +39,19 @@ const FIG11: &str = "do i = 1, N\n\
 /// Named nodes of our Figure 12 graph.
 struct Fig12 {
     g: IntervalGraph,
-    root: NodeId,     // paper node 1
-    ihdr: NodeId,     // paper node 2
-    ya: NodeId,       // paper node 3: y(a(i)) = ...
-    ifg: NodeId,      // paper node 4: if test(i) goto 77
-    latch: NodeId,    // paper node 5 (synthetic)
-    prej: NodeId,     // paper node 6 (synthetic)
-    jhdr: NodeId,     // paper node 7
-    jbody: NodeId,    // paper node 8
-    prek: NodeId,     // paper node 9 (synthetic)
-    pad: NodeId,      // paper node 10 (synthetic landing pad)
-    khdr: NodeId,     // paper node 12
-    kbody: NodeId,    // paper node 13
-    exit: NodeId,     // paper node 14
+    root: NodeId,  // paper node 1
+    ihdr: NodeId,  // paper node 2
+    ya: NodeId,    // paper node 3: y(a(i)) = ...
+    ifg: NodeId,   // paper node 4: if test(i) goto 77
+    latch: NodeId, // paper node 5 (synthetic)
+    prej: NodeId,  // paper node 6 (synthetic)
+    jhdr: NodeId,  // paper node 7
+    jbody: NodeId, // paper node 8
+    prek: NodeId,  // paper node 9 (synthetic)
+    pad: NodeId,   // paper node 10 (synthetic landing pad)
+    khdr: NodeId,  // paper node 12
+    kbody: NodeId, // paper node 13
+    exit: NodeId,  // paper node 14
 }
 
 fn build() -> Fig12 {
@@ -95,9 +95,7 @@ fn build() -> Fig12 {
         .expect("i-loop latch");
     let pad = g
         .nodes()
-        .find(|&n| {
-            g.kind(n).is_synthetic() && g.pred_edges(n).any(|(_, c)| c == EdgeClass::Jump)
-        })
+        .find(|&n| g.kind(n).is_synthetic() && g.pred_edges(n).any(|(_, c)| c == EdgeClass::Jump))
         .expect("landing pad");
     let prej = g
         .nodes()
@@ -196,15 +194,19 @@ fn consumption_variables_match_section_4() {
     }
     assert!(has(&v.taken_out, f.root, X_K), "x_k ∈ TAKEN_out(ROOT)");
     assert!(!has(&v.taken_out, f.root, Y_B), "y_b stolen in the i-loop");
-    assert!(!has(&v.taken_out, f.ya, X_K), "latch kills TAKEN inside loop");
+    assert!(
+        !has(&v.taken_out, f.ya, X_K),
+        "latch kills TAKEN inside loop"
+    );
 
     // TAKE: x_k, y_b ∈ TAKE({12, 13}) — k-loop header and body only.
     for n in [f.khdr, f.kbody] {
         assert!(has(&v.take, n, X_K), "x_k ∈ TAKE({n})");
         assert!(has(&v.take, n, Y_B), "y_b ∈ TAKE({n})");
     }
-    for n in [f.root, f.ihdr, f.ya, f.ifg, f.latch, f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.exit]
-    {
+    for n in [
+        f.root, f.ihdr, f.ya, f.ifg, f.latch, f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.exit,
+    ] {
         assert!(!has(&v.take, n, X_K), "x_k ∉ TAKE({n})");
         assert!(!has(&v.take, n, Y_B), "y_b ∉ TAKE({n})");
     }
@@ -275,18 +277,25 @@ fn placement_variables_match_section_4() {
     ] {
         assert!(has(&e.given_in, n, X_K), "x_k ∈ GIVEN_in^eager({n})");
     }
-    for n in [f.ifg, f.latch, f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.khdr, f.kbody, f.exit] {
+    for n in [
+        f.ifg, f.latch, f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.khdr, f.kbody, f.exit,
+    ] {
         assert!(has(&e.given_in, n, Y_A), "y_a ∈ GIVEN_in^eager({n})");
     }
     assert!(!has(&e.given_in, f.ya, Y_A));
     for n in [f.jhdr, f.jbody, f.prek, f.khdr, f.kbody, f.exit] {
         assert!(has(&e.given_in, n, Y_B), "y_b ∈ GIVEN_in^eager({n})");
     }
-    assert!(!has(&e.given_in, f.pad, Y_B), "jump path misses the y_b send");
+    assert!(
+        !has(&e.given_in, f.pad, Y_B),
+        "jump path misses the y_b send"
+    );
 
     // GIVEN^eager: x_k everywhere; y_b from node 6 on.
     assert!(has(&e.given, f.root, X_K));
-    for n in [f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.khdr, f.kbody, f.exit] {
+    for n in [
+        f.prej, f.jhdr, f.jbody, f.prek, f.pad, f.khdr, f.kbody, f.exit,
+    ] {
         assert!(has(&e.given, n, Y_B), "y_b ∈ GIVEN^eager({n})");
     }
     // GIVEN_out^eager: y_a from node 2 on (the loop produces it).

@@ -1,0 +1,186 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! a tiny wall-clock benchmark harness under the `criterion` package name
+//! (path dependencies never consult the registry). It supports the
+//! surface used by the in-tree benches — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_with_input` / `bench_function`, [`BenchmarkId::from_parameter`]
+//! and [`Throughput`] — and reports a median ns/iteration per benchmark
+//! to stdout. There is no statistical analysis, plotting, or baseline
+//! comparison.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque measurement throughput annotation (recorded, echoed in the
+/// report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier; only the parameter form is supported.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter, e.g. a size or name.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median time per
+    /// iteration over a handful of batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one batch takes ~10ms.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let batch = (10_000_000 / once).clamp(1, 100_000);
+
+        let mut samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.iters = batch * 7;
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(group: Option<&str>, id: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+        Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+        None => String::new(),
+    };
+    println!(
+        "{name:40} {:>12.1} ns/iter  [{} iters]{tp}",
+        b.median_ns, b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Times `f` against `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.to_string(), self.throughput, &b);
+    }
+
+    /// Times `f` under the given name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), self.throughput, &b);
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Times `f` under the given name, outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(None, &id.to_string(), None, &b);
+    }
+}
+
+/// Prevents the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -271,12 +271,76 @@ pub enum StmtKind {
 /// assert_eq!(program.body().len(), 1);
 /// # Ok::<(), gnt_ir::ParseError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Program {
     name: String,
     arena: Vec<Stmt>,
     body: Vec<StmtId>,
+    /// Source byte span per statement, parallel to `arena`. `None` for
+    /// statements built programmatically (builder, generators).
+    spans: Vec<Option<Span>>,
 }
+
+/// A half-open byte range into the source text a statement was parsed
+/// from. For block statements (`do`, `if`) the span covers the header
+/// line only, which is where diagnostics anchor.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_ir::parse;
+///
+/// let src = "a = 1\nb = 2";
+/// let p = parse(src)?;
+/// let span = p.span(p.body()[1]).unwrap();
+/// assert_eq!(span.slice(src), "b = 2");
+/// assert_eq!(span.start_line_col(src), (2, 1));
+/// # Ok::<(), gnt_ir::ParseError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span. `start` must not exceed `end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// The spanned source text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `src` (i.e. `src` is not
+    /// the text this span was produced from).
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start as usize..self.end as usize]
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    pub fn start_line_col(&self, src: &str) -> (u32, u32) {
+        let upto = &src[..(self.start as usize).min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let col = (upto.len() - upto.rfind('\n').map_or(0, |i| i + 1)) as u32 + 1;
+        (line, col)
+    }
+}
+
+// Spans are provenance metadata: two programs with identical structure
+// compare equal even if one was parsed (with spans) and one was built
+// programmatically (without).
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.arena == other.arena && self.body == other.body
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// Creates an empty program. Statements are added through
@@ -288,6 +352,7 @@ impl Program {
             name: name.into(),
             arena: Vec::new(),
             body: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -310,7 +375,23 @@ impl Program {
     pub fn alloc(&mut self, stmt: Stmt) -> StmtId {
         let id = StmtId(u32::try_from(self.arena.len()).expect("statement arena overflow"));
         self.arena.push(stmt);
+        self.spans.push(None);
         id
+    }
+
+    /// Records the source span of statement `id` (the parser does this;
+    /// builder-made statements keep `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn set_span(&mut self, id: StmtId, span: Span) {
+        self.spans[id.index()] = Some(span);
+    }
+
+    /// The source span of statement `id`, if it was parsed from text.
+    pub fn span(&self, id: StmtId) -> Option<Span> {
+        self.spans.get(id.index()).copied().flatten()
     }
 
     /// Returns the statement for `id`.
@@ -354,11 +435,7 @@ mod tests {
 
     #[test]
     fn expr_display_round_trips_simple_cases() {
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::elem("x", Expr::var("k")),
-            Expr::Const(10),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::elem("x", Expr::var("k")), Expr::Const(10));
         assert_eq!(e.to_string(), "x(k)+10");
     }
 
@@ -394,11 +471,7 @@ mod tests {
 
     #[test]
     fn free_vars_sees_through_subscripts() {
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::elem("x", Expr::var("k")),
-            Expr::var("N"),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::elem("x", Expr::var("k")), Expr::var("N"));
         assert_eq!(e.free_vars(), vec!["k", "N"]);
     }
 

@@ -142,12 +142,7 @@ impl BlockBuilder<'_> {
     }
 
     /// Appends `name(index) = rhs`.
-    pub fn assign_array(
-        &mut self,
-        name: impl Into<String>,
-        index: Expr,
-        rhs: Expr,
-    ) -> &mut Self {
+    pub fn assign_array(&mut self, name: impl Into<String>, index: Expr, rhs: Expr) -> &mut Self {
         self.push(StmtKind::Assign {
             lhs: LValue::Element(name.into(), index),
             rhs,
@@ -259,10 +254,9 @@ mod tests {
                 |_| {},
             )
             .build();
-        let parsed = parse(
-            "do i = 1, N\n  y(i) = ...\nenddo\nif test then\n  ... = x(a(k))\nendif",
-        )
-        .unwrap();
+        let parsed =
+            parse("do i = 1, N\n  y(i) = ...\nenddo\nif test then\n  ... = x(a(k))\nendif")
+                .unwrap();
         assert_eq!(pretty(&built), pretty(&parsed));
     }
 

@@ -3,6 +3,10 @@
 //! MiniF follows Fortran in being line-structured: a newline terminates a
 //! statement, so the lexer emits explicit [`Token::Newline`] tokens
 //! (collapsing blank lines). Comments run from `!` to end of line.
+//!
+//! Every token carries its 1-based source line and its byte span in the
+//! original source, so downstream diagnostics can underline the exact
+//! source text (see `gnt-analyze`).
 
 use std::fmt;
 
@@ -54,13 +58,17 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its source line (1-based), for error reporting.
+/// A token with its source position, for error reporting and diagnostics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpannedToken {
     /// The token itself.
     pub token: Token,
     /// 1-based source line.
     pub line: u32,
+    /// Byte offset of the token's first character.
+    pub start: u32,
+    /// Byte offset one past the token's last character.
+    pub end: u32,
 }
 
 /// An error produced during lexing.
@@ -74,7 +82,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -92,31 +104,41 @@ impl std::error::Error for LexError {}
 pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
     let mut out: Vec<SpannedToken> = Vec::new();
     let mut line: u32 = 1;
-    let mut chars = src.chars().peekable();
+    let mut chars = src.char_indices().peekable();
 
-    let push = |tok: Token, line: u32, out: &mut Vec<SpannedToken>| {
-        if tok == Token::Newline {
-            match out.last() {
-                None | Some(SpannedToken { token: Token::Newline, .. }) => return,
-                _ => {}
-            }
+    fn push(out: &mut Vec<SpannedToken>, tok: Token, line: u32, start: usize, end: usize) {
+        if tok == Token::Newline
+            && matches!(
+                out.last(),
+                None | Some(SpannedToken {
+                    token: Token::Newline,
+                    ..
+                })
+            )
+        {
+            return;
         }
-        out.push(SpannedToken { token: tok, line });
-    };
+        out.push(SpannedToken {
+            token: tok,
+            line,
+            start: start as u32,
+            end: end as u32,
+        });
+    }
 
-    while let Some(&c) = chars.peek() {
+    while let Some(&(i, c)) = chars.peek() {
         match c {
             '\n' => {
                 chars.next();
-                push(Token::Newline, line, &mut out);
+                push(&mut out, Token::Newline, line, i, i + 1);
                 line += 1;
             }
             ';' => {
                 chars.next();
-                push(Token::Newline, line, &mut out);
+                push(&mut out, Token::Newline, line, i, i + 1);
             }
             '!' => {
-                while let Some(&c2) = chars.peek() {
+                while let Some(&(_, c2)) = chars.peek() {
                     if c2 == '\n' {
                         break;
                     }
@@ -129,70 +151,58 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
             '.' => {
                 // Expect exactly `...`.
                 let mut dots = 0;
-                while chars.peek() == Some(&'.') {
+                let mut end = i;
+                while let Some(&(j, '.')) = chars.peek() {
                     chars.next();
                     dots += 1;
+                    end = j + 1;
                 }
                 if dots != 3 {
                     return Err(LexError { ch: '.', line });
                 }
-                push(Token::Dots, line, &mut out);
+                push(&mut out, Token::Dots, line, i, end);
             }
-            '=' => {
+            '=' | '(' | ')' | ',' | ':' | '+' | '-' | '*' => {
                 chars.next();
-                push(Token::Eq, line, &mut out);
-            }
-            '(' => {
-                chars.next();
-                push(Token::LParen, line, &mut out);
-            }
-            ')' => {
-                chars.next();
-                push(Token::RParen, line, &mut out);
-            }
-            ',' => {
-                chars.next();
-                push(Token::Comma, line, &mut out);
-            }
-            ':' => {
-                chars.next();
-                push(Token::Colon, line, &mut out);
-            }
-            '+' => {
-                chars.next();
-                push(Token::Plus, line, &mut out);
-            }
-            '-' => {
-                chars.next();
-                push(Token::Minus, line, &mut out);
-            }
-            '*' => {
-                chars.next();
-                push(Token::Star, line, &mut out);
+                let tok = match c {
+                    '=' => Token::Eq,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    ',' => Token::Comma,
+                    ':' => Token::Colon,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    _ => Token::Star,
+                };
+                push(&mut out, tok, line, i, i + 1);
             }
             c if c.is_ascii_digit() => {
                 let mut n: i64 = 0;
-                while let Some(&d) = chars.peek() {
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
                     if let Some(v) = d.to_digit(10) {
                         n = n * 10 + i64::from(v);
+                        end = j + 1;
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                push(Token::Int(n), line, &mut out);
+                push(&mut out, Token::Int(n), line, i, end);
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
                     if d.is_ascii_alphanumeric() || d == '_' {
                         s.push(d);
+                        end = j + 1;
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                push(Token::Ident(s), line, &mut out);
+                push(&mut out, Token::Ident(s), line, i, end);
             }
             other => return Err(LexError { ch: other, line }),
         }
@@ -200,9 +210,12 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
     if let Some(last) = out.last() {
         if last.token != Token::Newline {
             let l = last.line;
+            let e = src.len() as u32;
             out.push(SpannedToken {
                 token: Token::Newline,
                 line: l,
+                start: e,
+                end: e,
             });
         }
     }
@@ -240,10 +253,7 @@ mod tests {
 
     #[test]
     fn lexes_dots() {
-        assert_eq!(
-            toks("... = x(1)")[0..2],
-            [Token::Dots, Token::Eq]
-        );
+        assert_eq!(toks("... = x(1)")[0..2], [Token::Dots, Token::Eq]);
     }
 
     #[test]
@@ -270,6 +280,19 @@ mod tests {
         let t = lex("a = 1\nb = 2").unwrap();
         assert_eq!(t.first().unwrap().line, 1);
         assert_eq!(t.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn tracks_byte_spans() {
+        let src = "ab = 10\nc = 2";
+        let t = lex(src).unwrap();
+        // `ab` covers bytes 0..2, `10` covers bytes 5..7.
+        assert_eq!((t[0].start, t[0].end), (0, 2));
+        assert_eq!(&src[t[0].start as usize..t[0].end as usize], "ab");
+        assert_eq!((t[2].start, t[2].end), (5, 7));
+        assert_eq!(&src[t[2].start as usize..t[2].end as usize], "10");
+        // `c` starts the second line at byte 8.
+        assert_eq!((t[4].start, t[4].line), (8, 2));
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod lexer;
 mod parser;
 mod pretty;
 
-pub use ast::{BinOp, Expr, LValue, Label, Program, Stmt, StmtId, StmtKind};
+pub use ast::{BinOp, Expr, LValue, Label, Program, Span, Stmt, StmtId, StmtKind};
 pub use builder::{BlockBuilder, ProgramBuilder};
 pub use lexer::{lex, LexError, SpannedToken, Token};
 pub use parser::{parse, ParseError};

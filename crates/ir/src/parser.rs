@@ -18,7 +18,7 @@
 //!           | IDENT ["(" expr [":" expr] ")"]
 //! ```
 
-use crate::ast::{BinOp, Expr, LValue, Label, Program, Stmt, StmtId, StmtKind};
+use crate::ast::{BinOp, Expr, LValue, Label, Program, Span, Stmt, StmtId, StmtKind};
 use crate::lexer::{lex, LexError, SpannedToken, Token};
 use std::fmt;
 
@@ -228,7 +228,24 @@ impl Parser {
         Ok(body)
     }
 
+    /// The byte span of the statement header line starting at token
+    /// `start_pos`: from the first token through the last non-newline
+    /// token before the next end of line. For `do`/`if` blocks this is
+    /// the header only — the natural anchor for diagnostics.
+    fn header_span(&self, start_pos: usize) -> Option<Span> {
+        let first = self.tokens.get(start_pos)?;
+        let mut end = first.end;
+        for t in &self.tokens[start_pos..] {
+            if t.token == Token::Newline {
+                break;
+            }
+            end = t.end;
+        }
+        Some(Span::new(first.start, end))
+    }
+
     fn parse_stmt(&mut self) -> Result<StmtId, ParseError> {
+        let start_pos = self.pos;
         let label = if let Some(Token::Int(n)) = self.peek() {
             let n = *n;
             // A line-leading integer is a label only if more follows on the
@@ -240,10 +257,12 @@ impl Parser {
                 return self.unexpected("a statement after the label");
             }
             self.pos += 1;
-            Some(Label(u32::try_from(n).map_err(|_| ParseError::Unexpected {
-                found: Some(Token::Int(n)),
-                expected: "a non-negative label".to_string(),
-                line: self.line(),
+            Some(Label(u32::try_from(n).map_err(|_| {
+                ParseError::Unexpected {
+                    found: Some(Token::Int(n)),
+                    expected: "a non-negative label".to_string(),
+                    line: self.line(),
+                }
             })?))
         } else {
             None
@@ -263,7 +282,11 @@ impl Parser {
         } else {
             self.parse_assign()?
         };
-        Ok(self.program.alloc(Stmt { label, kind }))
+        let id = self.program.alloc(Stmt { label, kind });
+        if let Some(span) = self.header_span(start_pos) {
+            self.program.set_span(id, span);
+        }
+        Ok(id)
     }
 
     fn parse_label_ref(&mut self) -> Result<Label, ParseError> {
@@ -563,5 +586,38 @@ mod tests {
     #[test]
     fn bare_integer_line_is_an_error() {
         assert!(parse("42").is_err());
+    }
+
+    #[test]
+    fn statements_carry_header_spans() {
+        let src = "a = 1\ndo i = 1, N\n  b = c(i)\nenddo";
+        let p = parse(src).unwrap();
+        let assign = p.body()[0];
+        assert_eq!(p.span(assign).unwrap().slice(src), "a = 1");
+        let header = p.body()[1];
+        // Block statements anchor on the header line only.
+        assert_eq!(p.span(header).unwrap().slice(src), "do i = 1, N");
+        let StmtKind::Do { body, .. } = &p.stmt(header).kind else {
+            panic!();
+        };
+        let inner = p.span(body[0]).unwrap();
+        assert_eq!(inner.slice(src), "b = c(i)");
+        assert_eq!(inner.start_line_col(src), (3, 3));
+    }
+
+    #[test]
+    fn labeled_statement_span_includes_the_label() {
+        let src = "goto 7\n7 continue";
+        let p = parse(src).unwrap();
+        let labeled = p.find_label(Label(7)).unwrap();
+        assert_eq!(p.span(labeled).unwrap().slice(src), "7 continue");
+    }
+
+    #[test]
+    fn builder_programs_have_no_spans() {
+        let p = crate::ProgramBuilder::new("b")
+            .assign("x", Expr::Const(1))
+            .build();
+        assert_eq!(p.span(p.body()[0]), None);
     }
 }

@@ -109,8 +109,8 @@ impl Printer<'_> {
 
 #[cfg(test)]
 mod tests {
-    use crate::parse;
     use super::*;
+    use crate::parse;
 
     #[test]
     fn round_trips_figure_1() {

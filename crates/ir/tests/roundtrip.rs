@@ -2,8 +2,8 @@
 //! AST (`parse ∘ pretty ∘ parse = parse`), over randomly generated
 //! programs built without the parser.
 
-use proptest::prelude::*;
 use gnt_ir::{parse, pretty, BlockBuilder, Expr, ProgramBuilder};
+use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {

@@ -6,7 +6,7 @@
 //! engines (GIVE-N-TAKE, lazy code motion, Morel–Renvoise) can be
 //! compared head to head on the same graphs.
 
-use crate::problem::{PreProblem, PrePlacement};
+use crate::problem::{PrePlacement, PreProblem};
 use gnt_cfg::{IntervalGraph, NodeId};
 use gnt_core::{solve, PlacementProblem, SolverOptions};
 use gnt_dataflow::BitSet;
@@ -80,11 +80,7 @@ mod tests {
     /// Dynamic cost of a PRE result on one path: the number of
     /// computations actually executed (insertions plus surviving
     /// original occurrences).
-    fn path_computations(
-        path: &[gnt_cfg::NodeId],
-        pre: &PreProblem,
-        p: &PrePlacement,
-    ) -> usize {
+    fn path_computations(path: &[gnt_cfg::NodeId], pre: &PreProblem, p: &PrePlacement) -> usize {
         path.iter()
             .map(|n| {
                 let i = n.index();

@@ -10,7 +10,7 @@
 //! classifies classical PRE as a LAZY, BEFORE problem); the equivalence is
 //! exercised in this crate's tests and the `bench_vs_pre` benchmark.
 
-use crate::problem::{PreProblem, PrePlacement};
+use crate::problem::{PrePlacement, PreProblem};
 use gnt_dataflow::{BitSet, Direction, FlowGraph, GenKillProblem, Meet};
 
 /// Runs lazy code motion over `flow`.
@@ -200,12 +200,7 @@ mod tests {
     fn partial_redundancy_is_removed() {
         // 0 → 1 → 3, 0 → 2 → 3, 3 → 4; use at 1 and at 3.
         // The second use is partially redundant: insert on the 2-path.
-        let g = SimpleGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
-            0,
-            4,
-        );
+        let g = SimpleGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 0, 4);
         let mut p = problem(5, 1);
         p.antloc[1].insert(0);
         p.antloc[3].insert(0);

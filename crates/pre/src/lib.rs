@@ -42,4 +42,4 @@ mod problem;
 pub use compare::gnt_lazy_pre;
 pub use lcm::lazy_code_motion;
 pub use morel_renvoise::morel_renvoise;
-pub use problem::{PreProblem, PrePlacement};
+pub use problem::{PrePlacement, PreProblem};

@@ -6,7 +6,7 @@
 //! decreasing fixpoint from ⊤; insertions happen at node *exits*
 //! (`INSERT`), uses with `PPIN` become redundant.
 
-use crate::problem::{PreProblem, PrePlacement};
+use crate::problem::{PrePlacement, PreProblem};
 use gnt_dataflow::{BitSet, Direction, FlowGraph, GenKillProblem, Meet};
 
 /// Runs Morel–Renvoise PRE over `flow`.
@@ -172,12 +172,7 @@ mod tests {
     #[test]
     fn partial_redundancy_gets_insertion_on_deficient_path() {
         // 0 → 1 → 3, 0 → 2 → 3, 3 → 4; uses at 1 and 3.
-        let g = SimpleGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
-            0,
-            4,
-        );
+        let g = SimpleGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 0, 4);
         let mut p = problem(5, 1);
         p.antloc[1].insert(0);
         p.antloc[3].insert(0);

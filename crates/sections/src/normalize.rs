@@ -167,16 +167,8 @@ mod tests {
     #[test]
     fn identical_gathers_get_the_same_value_number() {
         // x(a(k)) over k and x(a(l)) over l normalize identically.
-        let rk = normalize_ref(
-            "x",
-            &Expr::elem("a", Expr::var("k")),
-            &ctx_1n("k"),
-        );
-        let rl = normalize_ref(
-            "x",
-            &Expr::elem("a", Expr::var("l")),
-            &ctx_1n("l"),
-        );
+        let rk = normalize_ref("x", &Expr::elem("a", Expr::var("k")), &ctx_1n("k"));
+        let rl = normalize_ref("x", &Expr::elem("a", Expr::var("l")), &ctx_1n("l"));
         assert_eq!(rk, rl);
         assert_eq!(rk.to_string(), "x(a(1:N))");
     }

@@ -118,10 +118,9 @@ impl DataRef {
             return false;
         }
         match (self, other) {
-            (
-                DataRef::Section { range: a, .. },
-                DataRef::Section { range: b, .. },
-            ) => a.disjoint(b) != Some(true),
+            (DataRef::Section { range: a, .. }, DataRef::Section { range: b, .. }) => {
+                a.disjoint(b) != Some(true)
+            }
             // Gathers and whole-array references may touch anything in
             // the array.
             _ => true,
@@ -136,10 +135,9 @@ impl DataRef {
         }
         match (self, other) {
             (DataRef::Whole { .. }, _) => true,
-            (
-                DataRef::Section { range: a, .. },
-                DataRef::Section { range: b, .. },
-            ) => a.contains(b) == Some(true),
+            (DataRef::Section { range: a, .. }, DataRef::Section { range: b, .. }) => {
+                a.contains(b) == Some(true)
+            }
             _ => false,
         }
     }
@@ -245,7 +243,11 @@ mod tests {
             array: "x".into(),
             index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
         };
-        let s = sec("x", Affine::constant(6), Affine::var("N") + Affine::constant(5));
+        let s = sec(
+            "x",
+            Affine::constant(6),
+            Affine::var("N") + Affine::constant(5),
+        );
         assert!(g.may_overlap(&s));
         assert!(!g.covers(&s));
     }
@@ -267,7 +269,11 @@ mod tests {
             index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
         };
         assert_eq!(g.to_string(), "x(a(1:N))");
-        let s = sec("x", Affine::constant(6), Affine::var("N") + Affine::constant(5));
+        let s = sec(
+            "x",
+            Affine::constant(6),
+            Affine::var("N") + Affine::constant(5),
+        );
         assert_eq!(s.to_string(), "x(6:N+5)");
         assert_eq!(DataRef::Whole { array: "z".into() }.to_string(), "z(*)");
         let p = sec("y", Affine::constant(3), Affine::constant(3));

@@ -16,8 +16,8 @@
 use crate::config::{Mode, SimConfig, SimReport};
 use gnt_cfg::{EdgeClass, EdgeMask, NodeId};
 use gnt_comm::{CommOp, CommPlan, OpKind};
-use gnt_sections::{Affine, DataRef};
 use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind};
+use gnt_sections::{Affine, DataRef};
 use std::collections::{HashMap, HashSet};
 
 /// Runs `program` under `plan` and returns the cost report.
@@ -81,7 +81,7 @@ impl Sim<'_> {
         let g = &self.plan.analysis.graph;
         self.handled.insert(g.root());
         self.handled.insert(g.exit());
-        for (_, &n) in &self.plan.analysis.node_of_stmt {
+        for &n in self.plan.analysis.node_of_stmt.values() {
             self.handled.insert(n);
         }
         // Landing pads and empty-arm splits are fired by their branches.
@@ -179,7 +179,10 @@ impl Sim<'_> {
         }
         let size = self.item_size(op.item);
         let cost = self.config.alpha + self.config.beta * size as f64;
-        let is_write = !matches!(op.kind, OpKind::ReadSend | OpKind::ReadRecv | OpKind::ReadAtomic);
+        let is_write = !matches!(
+            op.kind,
+            OpKind::ReadSend | OpKind::ReadRecv | OpKind::ReadAtomic
+        );
         if op.kind.is_atomic() {
             // A fused operation blocks for the full transfer.
             self.report.messages += 1;
@@ -187,7 +190,8 @@ impl Sim<'_> {
             self.report.stall_time += cost;
             self.clock += cost;
         } else if op.kind.is_send() {
-            self.pending.insert((is_write, op.item.0), self.clock + cost);
+            self.pending
+                .insert((is_write, op.item.0), self.clock + cost);
             self.report.messages += 1;
             self.report.volume += size;
         } else {
@@ -449,7 +453,10 @@ mod tests {
         let hidden = simulate(&p, &plan, &config, Mode::GiveNTake);
         let exposed = simulate(&p, &plan, &config, Mode::VectorizedNoHiding);
         assert_eq!(hidden.messages, exposed.messages);
-        assert!(hidden.stall_time < exposed.stall_time, "{hidden:?} vs {exposed:?}");
+        assert!(
+            hidden.stall_time < exposed.stall_time,
+            "{hidden:?} vs {exposed:?}"
+        );
         assert!(hidden.makespan < exposed.makespan);
         assert!(hidden.hidden_time > 0.0);
     }
@@ -468,10 +475,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (p, plan) = setup(
-            "if t then\n  ... = x(1)\nelse\n  ... = x(2)\nendif",
-            &["x"],
-        );
+        let (p, plan) = setup("if t then\n  ... = x(1)\nelse\n  ... = x(2)\nendif", &["x"]);
         let config = SimConfig::with_n(16);
         let a = simulate(&p, &plan, &config, Mode::GiveNTake);
         let b = simulate(&p, &plan, &config, Mode::GiveNTake);

@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let r = simulate(&program, &plan, &config, mode);
             println!(
                 "{:>8} {:>14} {:>10} {:>12.0} {:>12.0} {:>12.0}",
-                alpha, mode.to_string(), r.messages, r.stall_time, r.hidden_time, r.makespan
+                alpha,
+                mode.to_string(),
+                r.messages,
+                r.stall_time,
+                r.hidden_time,
+                r.makespan
             );
         }
     }

@@ -12,9 +12,8 @@ use give_n_take::pre::{gnt_lazy_pre, lazy_code_motion, morel_renvoise, PreProble
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `a + b` (expression 0) is computed on the then arm and again after
     // the join: partially redundant — the classic PRE motivating example.
-    let program = give_n_take::ir::parse(
-        "if t then\n  u = a + b\nelse\n  v = 1\nendif\nw = a + b",
-    )?;
+    let program =
+        give_n_take::ir::parse("if t then\n  u = a + b\nelse\n  v = 1\nendif\nw = a + b")?;
     let graph = IntervalGraph::from_program(&program)?;
     let stmts: Vec<_> = graph
         .nodes()
@@ -36,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mr = morel_renvoise(&flow, &pre);
 
     println!("partially redundant `a + b` after an if/else join:");
-    for (name, p) in [("GIVE-N-TAKE (lazy)", &gnt), ("lazy code motion", &lcm), ("Morel-Renvoise", &mr)] {
+    for (name, p) in [
+        ("GIVE-N-TAKE (lazy)", &gnt),
+        ("lazy code motion", &lcm),
+        ("Morel-Renvoise", &mr),
+    ] {
         println!(
             "  {name:<20} insertions: {:>2}   occurrences eliminated: {:>2}",
             p.total_insertions(),

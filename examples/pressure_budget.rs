@@ -13,9 +13,7 @@
 
 use give_n_take::cfg::IntervalGraph;
 use give_n_take::comm::{analyze, CommConfig};
-use give_n_take::core::{
-    measure_pressure, solve_with_pressure_limit, SolverOptions,
-};
+use give_n_take::core::{measure_pressure, solve_with_pressure_limit, SolverOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = (0..6)
@@ -29,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = IntervalGraph::from_program(&program)?; // the same graph shape
 
     println!("six independent gathers; in-flight budget sweep:");
-    println!("{:>8} {:>12} {:>14}", "budget", "max pending", "steals added");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "budget", "max pending", "steals added"
+    );
     for budget in [usize::MAX, 3, 1] {
         let (solution, report) = solve_with_pressure_limit(
             &analysis.graph,

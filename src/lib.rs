@@ -23,6 +23,7 @@
 //! | [`comm`] | `gnt-comm` | READ/WRITE communication generation |
 //! | [`pre`] | `gnt-pre` | Morel–Renvoise and lazy code motion baselines |
 //! | [`sim`] | `gnt-sim` | α+βn distributed-memory cost simulator |
+//! | [`analyze`] | `gnt-analyze` | placement linter, GNT0xx diagnostics, `gnt-lint` CLI |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub use gnt_analyze as analyze;
 pub use gnt_cfg as cfg;
 pub use gnt_comm as comm;
 pub use gnt_core as core;

@@ -25,14 +25,27 @@ fn full_read_pipeline_on_figure_1() {
         &analysis.read_problem,
         &SolverOptions::default(),
     );
-    assert!(check_sufficiency(&analysis.graph, &analysis.read_problem, &solution.eager, true)
-        .is_empty());
-    assert!(check_sufficiency(&analysis.graph, &analysis.read_problem, &solution.lazy, true)
-        .is_empty());
-    assert!(
-        check_balance(&analysis.graph, &analysis.read_problem, &solution.eager, &solution.lazy)
-            .is_empty()
-    );
+    assert!(check_sufficiency(
+        &analysis.graph,
+        &analysis.read_problem,
+        &solution.eager,
+        true
+    )
+    .is_empty());
+    assert!(check_sufficiency(
+        &analysis.graph,
+        &analysis.read_problem,
+        &solution.lazy,
+        true
+    )
+    .is_empty());
+    assert!(check_balance(
+        &analysis.graph,
+        &analysis.read_problem,
+        &solution.eager,
+        &solution.lazy
+    )
+    .is_empty());
 
     // …the plan renders the Figure 2 placement…
     let plan = generate(analysis).unwrap();
@@ -134,6 +147,7 @@ fn zero_trip_option_controls_hoisting_end_to_end() {
     assert!(safe.eager.res_in[analysis.graph.root().index()].is_empty());
     // Safe placements must also be sufficient without the ≥1-trip
     // assumption.
-    assert!(check_sufficiency(&analysis.graph, &analysis.read_problem, &safe.eager, false)
-        .is_empty());
+    assert!(
+        check_sufficiency(&analysis.graph, &analysis.read_problem, &safe.eager, false).is_empty()
+    );
 }

@@ -16,7 +16,11 @@ fn add_array_accesses(program: &Program, seed: u64) -> Program {
     let mut out = reparsed.clone();
     let mut counter = seed;
     for (id, stmt) in reparsed.iter() {
-        if let StmtKind::Assign { lhs: LValue::Scalar(_), rhs: Expr::Opaque } = &stmt.kind {
+        if let StmtKind::Assign {
+            lhs: LValue::Scalar(_),
+            rhs: Expr::Opaque,
+        } = &stmt.kind
+        {
             counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
             let pick = (counter >> 33) % 3;
             let new_kind = match pick {
@@ -30,7 +34,10 @@ fn add_array_accesses(program: &Program, seed: u64) -> Program {
                 },
                 _ => StmtKind::Assign {
                     lhs: LValue::Opaque,
-                    rhs: Expr::elem("x", Expr::bin(give_n_take::ir::BinOp::Add, Expr::var("q"), Expr::Const(3))),
+                    rhs: Expr::elem(
+                        "x",
+                        Expr::bin(give_n_take::ir::BinOp::Add, Expr::var("q"), Expr::Const(3)),
+                    ),
                 },
             };
             out.stmt_mut(id).kind = new_kind;
@@ -77,6 +84,9 @@ fn rendered_placements_reparse_when_free_of_ops() {
         let plan = generate(analysis).unwrap();
         let listing = render(&program, &plan);
         let reparsed = give_n_take::ir::parse(&listing).unwrap();
-        assert_eq!(give_n_take::ir::pretty(&reparsed), give_n_take::ir::pretty(&program));
+        assert_eq!(
+            give_n_take::ir::pretty(&reparsed),
+            give_n_take::ir::pretty(&program)
+        );
     }
 }
