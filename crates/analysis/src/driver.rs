@@ -10,7 +10,7 @@ use crate::invariants::lint_graph;
 use crate::placement::{lint_placement, PlacementLintOptions};
 use gnt_cfg::{node_spans, reversed_graph, DotOverlay};
 use gnt_comm::{analyze, generate, CommConfig, CommPlan};
-use gnt_core::{check_balance, check_sufficiency, shift_off_synthetic, solve, SolverOptions};
+use gnt_core::{check_balance, check_sufficiency, shift_off_synthetic, SolverOptions};
 use gnt_ir::{Program, StmtKind};
 use std::fmt;
 
@@ -188,12 +188,15 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
         .collect();
 
     // Layer 2: placement criteria of the READ (BEFORE) problem, linted
-    // on the same shifted solution the plan was emitted from.
+    // on the same shifted solution the plan was emitted from. The READ
+    // and WRITE solves below share one scratch arena.
+    let mut scratch = gnt_core::SolverScratch::new();
     if opts.select != ProblemSelect::After {
-        let mut sol = solve(
+        let mut sol = gnt_core::solve_with_scratch(
             graph,
             &plan.analysis.read_problem,
             &SolverOptions::default(),
+            &mut scratch,
         );
         shift_off_synthetic(graph, &mut sol.eager);
         shift_off_synthetic(graph, &mut sol.lazy);
@@ -214,10 +217,11 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     // The WRITE (AFTER) problem is solved on the reversed graph; check
     // its criteria over the reversed flow like the core verifiers do.
     if opts.select != ProblemSelect::Before {
-        match gnt_core::solve_after(
+        match gnt_core::solve_after_with_scratch(
             graph,
             &plan.analysis.write_problem,
             &SolverOptions::default(),
+            &mut scratch,
         ) {
             Ok(after) => {
                 let mut problem = plan.analysis.write_problem.clone();

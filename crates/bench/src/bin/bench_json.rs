@@ -1,0 +1,97 @@
+//! Perf-trajectory harness: measures the solver data plane and writes a
+//! machine-readable `BENCH_solver.json` at the repo root, so each commit
+//! can be compared against the last.
+//!
+//! Records:
+//! * `solve/16items` — the EXP-C1 protocol (end-to-end [`solve`] at
+//!   universe 16, sequential) at several program sizes;
+//! * `solve_into/16items` — the zero-allocation scratch-reuse path at the
+//!   same sizes;
+//! * `solve/256items` and `solve_par/256items` — a 4-word universe solved
+//!   sequentially vs item-sharded, recording the thread count used.
+//!
+//! ```sh
+//! cargo run -p gnt-bench --release --bin bench_json [-- --smoke] [--json path]
+//! ```
+//!
+//! `--smoke` shrinks the sizes for CI; the default output path is
+//! `BENCH_solver.json` in the current directory.
+
+use gnt_bench::{json_flag_from_args, median_ns, write_records_json, BenchRecord};
+use gnt_cfg::IntervalGraph;
+use gnt_core::{
+    random_problem, sized_program, solve, solve_into, solve_par, SolverOptions, SolverScratch,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let path = json_flag_from_args().unwrap_or_else(|| PathBuf::from("BENCH_solver.json"));
+    let (sizes, runs): (&[usize], usize) = if smoke {
+        (&[100, 400], 3)
+    } else {
+        (&[400, 1600, 6400], 5)
+    };
+    let mut records = Vec::new();
+
+    for &target in sizes {
+        let program = sized_program(target);
+        let graph = IntervalGraph::from_program(&program).expect("reducible");
+        let nodes = graph.num_nodes();
+        let problem = random_problem(42, &graph, 16, 0.3);
+        let opts = SolverOptions::default();
+
+        let ns = median_ns(runs, || solve(&graph, &problem, &opts));
+        records.push(BenchRecord {
+            bench: "solve/16items".to_string(),
+            nodes,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+
+        let mut scratch = SolverScratch::new();
+        let ns = median_ns(runs, || solve_into(&graph, &problem, &opts, &mut scratch));
+        records.push(BenchRecord {
+            bench: "solve_into/16items".to_string(),
+            nodes,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+    }
+
+    // Multi-word universe: sequential vs item-sharded on the largest size.
+    let target = if smoke { 400 } else { 6400 };
+    let program = sized_program(target);
+    let graph = IntervalGraph::from_program(&program).expect("reducible");
+    let nodes = graph.num_nodes();
+    let problem = random_problem(43, &graph, 256, 0.3);
+    let seq_opts = SolverOptions::default();
+    let ns = median_ns(runs, || solve(&graph, &problem, &seq_opts));
+    records.push(BenchRecord {
+        bench: "solve/256items".to_string(),
+        nodes,
+        ns_per_node: ns / nodes as f64,
+        threads: 1,
+    });
+    let shards = 4;
+    let par_opts = SolverOptions {
+        parallelism: shards,
+        ..Default::default()
+    };
+    let ns = median_ns(runs, || solve_par(&graph, &problem, &par_opts));
+    records.push(BenchRecord {
+        bench: "solve_par/256items".to_string(),
+        nodes,
+        ns_per_node: ns / nodes as f64,
+        threads: shards,
+    });
+
+    for r in &records {
+        println!(
+            "{:>22} nodes={:<6} threads={} {:>8.1} ns/node",
+            r.bench, r.nodes, r.threads, r.ns_per_node
+        );
+    }
+    write_records_json(&path, &records).expect("write json");
+    println!("wrote {} records to {}", records.len(), path.display());
+}

@@ -4,15 +4,16 @@
 //! programs; the ns/node column should stay roughly flat.
 //!
 //! ```sh
-//! cargo run -p gnt-bench --bin table_scaling --release
+//! cargo run -p gnt-bench --bin table_scaling --release [-- --json out.json]
 //! ```
 
-use gnt_bench::rule;
+use gnt_bench::{json_flag_from_args, median_ns, rule, write_records_json, BenchRecord};
 use gnt_cfg::IntervalGraph;
 use gnt_core::{random_problem, sized_program, solve, SolverOptions};
-use std::time::Instant;
 
 fn main() {
+    let json_path = json_flag_from_args();
+    let mut records = Vec::new();
     println!("== GIVE-N-TAKE solve time vs program size (items = 16) ==");
     println!(
         "{:>8} {:>8} {:>8} {:>12} {:>10}",
@@ -24,26 +25,26 @@ fn main() {
         let graph = IntervalGraph::from_program(&program).expect("reducible");
         let problem = random_problem(42, &graph, 16, 0.3);
         let opts = SolverOptions::default();
-        // Warm up, then time the median of several runs.
-        let _ = solve(&graph, &problem, &opts);
-        let mut times: Vec<f64> = (0..5)
-            .map(|_| {
-                let t = Instant::now();
-                let s = solve(&graph, &problem, &opts);
-                std::hint::black_box(&s);
-                t.elapsed().as_secs_f64() * 1e6
-            })
-            .collect();
-        times.sort_by(f64::total_cmp);
-        let median = times[times.len() / 2];
+        let median = median_ns(5, || solve(&graph, &problem, &opts));
+        let ns_per_node = median / graph.num_nodes() as f64;
         println!(
             "{:>8} {:>8} {:>8} {:>12.1} {:>10.1}",
             program.num_stmts(),
             graph.num_nodes(),
             graph.num_edges(),
-            median,
-            median * 1e3 / graph.num_nodes() as f64
+            median / 1e3,
+            ns_per_node
         );
+        records.push(BenchRecord {
+            bench: "scaling".to_string(),
+            nodes: graph.num_nodes(),
+            ns_per_node,
+            threads: 1,
+        });
     }
     println!("\npaper's claim (§5.2): O(E) — ns/node stays flat as size grows.");
+    if let Some(path) = json_path {
+        write_records_json(&path, &records).expect("write json");
+        println!("wrote {} records to {}", records.len(), path.display());
+    }
 }

@@ -4,10 +4,10 @@
 //! analysis runtimes.
 //!
 //! ```sh
-//! cargo run -p gnt-bench --bin table_vs_pre --release
+//! cargo run -p gnt-bench --bin table_vs_pre --release [-- --json out.json]
 //! ```
 
-use gnt_bench::rule;
+use gnt_bench::{json_flag_from_args, rule, write_records_json, BenchRecord};
 use gnt_cfg::{CfgFlow, IntervalGraph, NodeId};
 use gnt_core::{enumerate_paths, random_problem, random_program, GenConfig};
 use gnt_pre::{gnt_lazy_pre, lazy_code_motion, morel_renvoise, PrePlacement, PreProblem};
@@ -39,6 +39,7 @@ fn main() {
     let mut wins_vs_lcm = 0usize;
     let mut programs = 0usize;
     let mut paths_total = 0usize;
+    let mut nodes_total = 0usize;
 
     for seed in 0..200u64 {
         let program = random_program(seed, &config);
@@ -80,6 +81,7 @@ fn main() {
             wins_vs_lcm += 1;
         }
         programs += 1;
+        nodes_total += graph.num_nodes();
     }
 
     println!("== GIVE-N-TAKE vs classical PRE: {programs} random loop-free programs, {paths_total} paths ==");
@@ -99,4 +101,17 @@ fn main() {
         "\nGIVE-N-TAKE strictly beat node-granular LCM on {wins_vs_lcm} of {programs} programs\n\
          (edge placements via RES_out); it is never worse on any path."
     );
+    if let Some(path) = json_flag_from_args() {
+        let records: Vec<BenchRecord> = [("vs_pre/gnt", 0), ("vs_pre/lcm", 1), ("vs_pre/mr", 2)]
+            .into_iter()
+            .map(|(name, i)| BenchRecord {
+                bench: name.to_string(),
+                nodes: nodes_total,
+                ns_per_node: times[i] * 1e9 / nodes_total as f64,
+                threads: 1,
+            })
+            .collect();
+        write_records_json(&path, &records).expect("write json");
+        println!("wrote {} records to {}", records.len(), path.display());
+    }
 }

@@ -8,7 +8,10 @@
 
 use crate::analyze::CommAnalysis;
 use gnt_cfg::{EdgeMask, IntervalGraph, NodeId};
-use gnt_core::{shift_off_synthetic, solve, solve_after, Flavor, SolverOptions};
+use gnt_core::{
+    shift_off_synthetic, solve_after_with_scratch, solve_with_scratch, Flavor, SolverOptions,
+    SolverScratch,
+};
 use gnt_dataflow::ItemId;
 use std::fmt;
 
@@ -160,8 +163,10 @@ pub fn generate_styled(
     let mut before: Vec<Vec<CommOp>> = vec![Vec::new(); n];
     let mut after: Vec<Vec<CommOp>> = vec![Vec::new(); n];
 
-    // READ: BEFORE problem on the forward graph.
-    let mut read = solve(graph, &analysis.read_problem, &opts);
+    // READ: BEFORE problem on the forward graph. One scratch arena backs
+    // this solve and the WRITE solves below.
+    let mut scratch = SolverScratch::new();
+    let mut read = solve_with_scratch(graph, &analysis.read_problem, &opts, &mut scratch);
 
     // Phase coupling: a *placed* READ operation re-communicates owner
     // data, so every pending write-back of an overlapping portion must
@@ -222,7 +227,7 @@ pub fn generate_styled(
 
     // WRITE: AFTER problem on the reversed graph. Reversed RES_in is
     // production after the node in program order; reversed RES_out before.
-    let mut write = solve_after(graph, &write_problem, &opts)?;
+    let mut write = solve_after_with_scratch(graph, &write_problem, &opts, &mut scratch)?;
     shift_off_synthetic(&write.reversed, &mut write.solution.eager);
     shift_off_synthetic(&write.reversed, &mut write.solution.lazy);
     let mut write_before: Vec<Vec<CommOp>> = vec![Vec::new(); n];

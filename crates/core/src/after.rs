@@ -14,7 +14,7 @@
 //! *immediately after* it (e.g. `WRITE_Send`).
 
 use crate::problem::{Flavor, PlacementProblem, SolverOptions};
-use crate::solver::{solve, Solution};
+use crate::solver::{solve_with_scratch, Solution};
 use gnt_cfg::{reversed_graph, GraphError, IntervalGraph, NodeId};
 use gnt_dataflow::BitSet;
 
@@ -81,6 +81,23 @@ pub fn solve_after(
     problem: &PlacementProblem,
     opts: &SolverOptions,
 ) -> Result<AfterSolution, GraphError> {
+    let mut scratch = crate::scratch::SolverScratch::new();
+    solve_after_with_scratch(graph, problem, opts, &mut scratch)
+}
+
+/// [`solve_after`] reusing a caller-provided scratch arena — the
+/// optimistic attempt and the poisoned fallback (and any further AFTER
+/// solves through the same scratch) share one allocation.
+///
+/// # Errors
+///
+/// Fails if the reversed graph for the AFTER problem cannot be built.
+pub fn solve_after_with_scratch(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    scratch: &mut crate::scratch::SolverScratch,
+) -> Result<AfterSolution, GraphError> {
     let mut reversed = reversed_graph(graph)?;
     let mut p = problem.clone();
     p.resize_nodes(reversed.num_nodes());
@@ -91,7 +108,7 @@ pub fn solve_after(
     // and the jump path gets its own balanced production at the landing
     // pad. This is sound whenever consumption on the jump path occurs
     // before the back edge; the independent verifiers decide.
-    let solution = solve(&reversed, &p, opts);
+    let solution = solve_with_scratch(&reversed, &p, opts, scratch);
     let jump_entered: Vec<_> = reversed
         .nodes()
         .filter(|&h| !reversed.jump_in_sources(h).is_empty())
@@ -110,7 +127,7 @@ pub fn solve_after(
             for h in jump_entered {
                 reversed.poison(h);
             }
-            let solution = solve(&reversed, &p, opts);
+            let solution = solve_with_scratch(&reversed, &p, opts, scratch);
             return Ok(AfterSolution { reversed, solution });
         }
     }

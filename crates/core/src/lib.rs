@@ -61,16 +61,22 @@ mod after;
 mod generator;
 mod pressure;
 mod problem;
+mod scratch;
 mod shift;
 mod solver;
 mod verify;
 
-pub use after::{solve_after, AfterSolution};
+pub use after::{solve_after, solve_after_with_scratch, AfterSolution};
 pub use generator::{random_problem, random_program, sized_program, GenConfig};
-pub use pressure::{measure_pressure, solve_with_pressure_limit, PressureReport};
+pub use pressure::{
+    measure_pressure, solve_with_pressure_limit, solve_with_pressure_limit_in_place, PressureReport,
+};
 pub use problem::{Direction, Flavor, PlacementProblem, SolverOptions};
+pub use scratch::SolverScratch;
 pub use shift::{shift_off_synthetic, ShiftReport};
-pub use solver::{solve, ConsumptionVars, FlavorSolution, Solution};
+pub use solver::{
+    solve, solve_into, solve_par, solve_with_scratch, ConsumptionVars, FlavorSolution, Solution,
+};
 pub use verify::{
     check_balance, check_path, check_sufficiency, enumerate_paths, path_has_zero_trip, Path,
     Violation,

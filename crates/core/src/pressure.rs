@@ -13,9 +13,16 @@
 //! until the limit holds — trading hiding (and possibly extra
 //! productions) for bounded buffers, exactly the conflict the paper
 //! describes.
+//!
+//! The re-solve loop runs entirely inside one [`SolverScratch`] arena:
+//! [`solve_with_pressure_limit_in_place`] mutates `steal_init` in place,
+//! reads the in-flight counts straight off the arena, and rolls the
+//! inserted steals back before returning — no per-round clones, no
+//! per-round `Solution` export.
 
 use crate::problem::{PlacementProblem, SolverOptions};
-use crate::solver::{solve, Solution};
+use crate::scratch::SolverScratch;
+use crate::solver::{solve_into, Solution};
 use gnt_cfg::{IntervalGraph, NodeId};
 
 /// The in-flight item count at each node's entry for `solution`:
@@ -54,6 +61,9 @@ pub struct PressureReport {
 /// currently hottest node; each inserted steal blocks production across
 /// that node, shortening the item's region (and possibly splitting it,
 /// at the cost of extra productions — the paper's stated trade).
+///
+/// This is a convenience wrapper: it clones `problem` once and delegates
+/// to [`solve_with_pressure_limit_in_place`].
 pub fn solve_with_pressure_limit(
     graph: &IntervalGraph,
     problem: &PlacementProblem,
@@ -61,46 +71,78 @@ pub fn solve_with_pressure_limit(
     max_pending: usize,
     max_rounds: usize,
 ) -> (Solution, PressureReport) {
-    let mut augmented = problem.clone();
-    let mut solution = solve(graph, &augmented, opts);
-    let pressure = measure_pressure(graph, &solution);
-    let initial_max = pressure.iter().copied().max().unwrap_or(0);
+    let mut working = problem.clone();
+    let mut scratch = SolverScratch::new();
+    solve_with_pressure_limit_in_place(
+        graph,
+        &mut working,
+        opts,
+        max_pending,
+        max_rounds,
+        &mut scratch,
+    )
+}
+
+/// The allocation-thrifty core of [`solve_with_pressure_limit`]: mutates
+/// `problem.steal_init` in place across the re-solve rounds (reusing
+/// `scratch` so rounds after the first allocate nothing) and rolls every
+/// inserted steal back before returning, leaving `problem` exactly as it
+/// was. The returned [`Solution`] is the one exported from the final
+/// round, i.e. it reflects the inserted steals.
+pub fn solve_with_pressure_limit_in_place(
+    graph: &IntervalGraph,
+    problem: &mut PlacementProblem,
+    opts: &SolverOptions,
+    max_pending: usize,
+    max_rounds: usize,
+    scratch: &mut SolverScratch,
+) -> (Solution, PressureReport) {
+    solve_into(graph, problem, opts, scratch);
+    let pressure_max = |s: &SolverScratch| {
+        graph
+            .nodes()
+            .map(|n| s.in_flight_count(n))
+            .max()
+            .unwrap_or(0)
+    };
+    let initial_max = pressure_max(scratch);
     let mut report = PressureReport {
         initial_max,
         final_max: initial_max,
         steals_inserted: 0,
         rounds: 0,
     };
+    // Steals inserted by the heuristic (only those not already present in
+    // the caller's problem), for rollback.
+    let mut inserted: Vec<(usize, usize)> = Vec::new();
 
     while report.final_max > max_pending && report.rounds < max_rounds {
         report.rounds += 1;
-        let pressure = measure_pressure(graph, &solution);
-        let (hot, &count) = pressure
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
+        let (hot, count) = graph
+            .nodes()
+            .map(|n| (n.index(), scratch.in_flight_count(n)))
+            .max_by_key(|&(_, c)| c)
             .expect("non-empty graph");
         if count <= max_pending {
             break;
         }
         let node = NodeId(hot as u32);
         // In-flight items at the hot node, highest ids demoted first.
-        let mut in_flight: Vec<usize> = solution.eager.given_in[hot]
-            .difference(&solution.lazy.given_in[hot])
-            .iter()
-            .collect();
+        let mut in_flight = scratch.in_flight_items(node);
         in_flight.reverse();
         for item in in_flight.into_iter().take(count - max_pending) {
-            if !augmented.steal_init[hot].contains(item) {
-                augmented.steal(node, item);
+            if !problem.steal_init[hot].contains(item) {
+                problem.steal(node, item);
+                inserted.push((hot, item));
                 report.steals_inserted += 1;
             }
         }
-        solution = solve(graph, &augmented, opts);
-        report.final_max = measure_pressure(graph, &solution)
-            .into_iter()
-            .max()
-            .unwrap_or(0);
+        solve_into(graph, problem, opts, scratch);
+        report.final_max = pressure_max(scratch);
+    }
+    let solution = scratch.export();
+    for (node, item) in inserted {
+        problem.steal_init[node].remove(item);
     }
     (solution, report)
 }
@@ -135,7 +177,7 @@ mod tests {
     #[test]
     fn unlimited_solve_pipelines_everything() {
         let (g, p) = chain(6);
-        let s = solve(&g, &p, &SolverOptions::default());
+        let s = crate::solver::solve(&g, &p, &SolverOptions::default());
         let max = measure_pressure(&g, &s).into_iter().max().unwrap();
         assert_eq!(max, 6, "all sends hoisted to ROOT");
     }
@@ -180,5 +222,27 @@ mod tests {
         let (s, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 0, 8);
         assert!(report.rounds <= 8);
         assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
+    }
+
+    #[test]
+    fn in_place_rolls_back_inserted_steals() {
+        let (g, p) = chain(6);
+        let mut working = p.clone();
+        let mut scratch = SolverScratch::new();
+        let (s, report) = solve_with_pressure_limit_in_place(
+            &g,
+            &mut working,
+            &SolverOptions::default(),
+            2,
+            32,
+            &mut scratch,
+        );
+        assert!(report.steals_inserted > 0);
+        // The problem is restored bit-for-bit despite the in-place rounds.
+        assert_eq!(working, p);
+        assert!(report.final_max <= 2);
+        // And the reused-scratch result matches the wrapper's.
+        let (s2, _) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 2, 32);
+        assert_eq!(s, s2);
     }
 }

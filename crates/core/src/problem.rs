@@ -53,7 +53,7 @@ pub enum Flavor {
 /// p.steal(NodeId(2), 0); // node 2 destroys it
 /// assert!(p.take_init[3].contains(0));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlacementProblem {
     /// Number of items in the dataflow universe.
     pub universe_size: usize,
@@ -122,6 +122,13 @@ pub struct SolverOptions {
     /// the loop-body contributions to `TAKE` instead, the equivalent
     /// mechanism of §5.3).
     pub no_hoist_headers: Vec<NodeId>,
+    /// Item-sharding width for the solve. `0` (the default) picks
+    /// automatically: shard across available cores when the universe is
+    /// large enough to amortise thread spawns, otherwise solve
+    /// sequentially. `1` forces the sequential path. `k ≥ 2` forces up to
+    /// `k` word-aligned shards (clamped to the universe word count).
+    /// Sharded and sequential solves are bit-identical.
+    pub parallelism: usize,
 }
 
 #[cfg(test)]

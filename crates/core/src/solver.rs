@@ -12,15 +12,31 @@
 //! 3. Equations 14–15 then read off the result variables `RES_in`/`RES_out`.
 //!
 //! Total complexity is O(E) set operations (§5.2).
+//!
+//! # Data plane
+//!
+//! All variables live in a [`SolverScratch`] arena (one contiguous word
+//! vector, one strided row per `(family, node)` pair) and every equation
+//! is evaluated by fused word-level kernels — no per-equation temporaries,
+//! no allocation inside the passes. Because every kernel is word-wise
+//! (bit `i` of any output depends only on bit `i` of the inputs) and the
+//! schedule never branches on set *contents*, the item universe can be
+//! partitioned into word-aligned shards and each shard solved completely
+//! independently with bit-identical results — see [`solve_par`].
 
 use crate::problem::{Flavor, PlacementProblem, SolverOptions};
+use crate::scratch::{
+    flavor_offset, SolverScratch, F_BLOCK, F_BLOCK_LOC, F_GIVE, F_GIVEN, F_GIVEN_IN, F_GIVEN_OUT,
+    F_GIVE_LOC, F_RES_IN, F_RES_OUT, F_STEAL, F_STEAL_LOC, F_TAKE, F_TAKEN_IN, F_TAKEN_OUT,
+    F_TAKE_LOC, NUM_FAMILIES,
+};
 use gnt_cfg::{EdgeMask, IntervalGraph, NodeId};
 use gnt_dataflow::BitSet;
 
 /// The consumption-analysis variables of §4.2–4.3 (identical for both
 /// flavors), exposed for inspection, verification, and the golden tests
 /// that reproduce the paper's §4 example values.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConsumptionVars {
     /// Eq. 1 — production voided at `n` or within `T(n)`.
     pub steal: Vec<BitSet>,
@@ -45,7 +61,7 @@ pub struct ConsumptionVars {
 }
 
 /// The production-placement variables of §4.4–4.5 for one flavor.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlavorSolution {
     /// Eq. 11 — available at the entry of `n`.
     pub given_in: Vec<BitSet>,
@@ -69,7 +85,7 @@ impl FlavorSolution {
 
 /// A complete GIVE-N-TAKE solution: both flavors plus the shared
 /// consumption analysis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Solution {
     /// Shared consumption variables (passes S1–S2).
     pub vars: ConsumptionVars,
@@ -87,12 +103,92 @@ impl Solution {
             Flavor::Lazy => &self.lazy,
         }
     }
+
+    /// An all-empty solution over `n` nodes and `cap` items, ready to be
+    /// filled by [`SolverScratch::write_into`].
+    pub(crate) fn empty(n: usize, cap: usize) -> Solution {
+        let empty = BitSet::new(cap);
+        let fs = || FlavorSolution {
+            given_in: vec![empty.clone(); n],
+            given: vec![empty.clone(); n],
+            given_out: vec![empty.clone(); n],
+            res_in: vec![empty.clone(); n],
+            res_out: vec![empty.clone(); n],
+        };
+        Solution {
+            vars: ConsumptionVars {
+                steal: vec![empty.clone(); n],
+                give: vec![empty.clone(); n],
+                block: vec![empty.clone(); n],
+                taken_out: vec![empty.clone(); n],
+                take: vec![empty.clone(); n],
+                taken_in: vec![empty.clone(); n],
+                block_loc: vec![empty.clone(); n],
+                take_loc: vec![empty.clone(); n],
+                give_loc: vec![empty.clone(); n],
+                steal_loc: vec![empty.clone(); n],
+            },
+            eager: fs(),
+            lazy: fs(),
+        }
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+/// In auto mode (`parallelism == 0`), [`solve`] only shards when every
+/// shard gets at least this many words — below that, thread spawn costs
+/// dominate and the sequential arena path wins.
+const AUTO_WORDS_PER_SHARD: usize = 16;
+
+/// A word window of the item universe: one shard solves columns
+/// `[64·word0, 64·word0 + bits)` of every variable.
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    word0: usize,
+    words: usize,
+    bits: usize,
+}
+
+impl Window {
+    fn full(cap: usize) -> Window {
+        Window {
+            word0: 0,
+            words: cap.div_ceil(WORD_BITS),
+            bits: cap,
+        }
+    }
+}
+
+fn threads_available() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// How many word shards to use. `force` is the [`solve_par`] entry: shard
+/// whenever the universe has ≥ 2 words; [`solve`] in auto mode applies the
+/// [`AUTO_WORDS_PER_SHARD`] threshold instead.
+fn shard_count(opts: &SolverOptions, words: usize, force: bool) -> usize {
+    let requested = match opts.parallelism {
+        0 => threads_available(),
+        p => p,
+    };
+    let cap = if force || opts.parallelism >= 2 {
+        words
+    } else {
+        words / AUTO_WORDS_PER_SHARD
+    };
+    requested.min(cap).max(1)
 }
 
 /// Solves a BEFORE problem over `graph`.
 ///
 /// For AFTER problems use [`crate::solve_after`], which runs this solver
 /// on the reversed graph.
+///
+/// Honors [`SolverOptions::parallelism`]: with an explicit knob ≥ 2 (or
+/// in auto mode on a universe large enough to amortise thread spawns) the
+/// solve is item-sharded exactly like [`solve_par`], with bit-identical
+/// results.
 ///
 /// # Panics
 ///
@@ -115,27 +211,180 @@ impl Solution {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOptions) -> Solution {
-    let n = graph.num_nodes();
+    check_coverage(graph, problem);
+    let words = problem.universe_size.div_ceil(WORD_BITS);
+    let shards = shard_count(opts, words, false);
+    if shards > 1 {
+        return solve_sharded(graph, problem, opts, shards);
+    }
+    let mut scratch = SolverScratch::new();
+    solve_core(
+        graph,
+        problem,
+        opts,
+        &mut scratch,
+        Window::full(problem.universe_size),
+    );
+    scratch.export()
+}
+
+/// Solves sequentially into a caller-provided [`SolverScratch`], leaving
+/// every Figure-13 variable readable in place (zero-copy views, no
+/// allocation after warm-up). Use this for re-solve loops; call
+/// [`SolverScratch::export`] when an owned [`Solution`] is needed.
+///
+/// # Panics
+///
+/// Panics if `problem` does not cover all nodes of `graph`.
+pub fn solve_into(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+) {
+    check_coverage(graph, problem);
+    solve_core(
+        graph,
+        problem,
+        opts,
+        scratch,
+        Window::full(problem.universe_size),
+    );
+}
+
+/// [`solve_into`] followed by [`SolverScratch::export`]: the drop-in
+/// replacement for [`solve`] when a scratch is being reused across calls.
+///
+/// # Panics
+///
+/// Panics if `problem` does not cover all nodes of `graph`.
+pub fn solve_with_scratch(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+) -> Solution {
+    solve_into(graph, problem, opts, scratch);
+    scratch.export()
+}
+
+/// Item-sharded parallel solve: partitions the universe into word-aligned
+/// chunks and runs the full four-pass schedule per chunk on its own
+/// thread, then stitches the windows back together.
+///
+/// Because every kernel is word-parallel and the schedule is
+/// data-independent, the result is **bit-identical** to the sequential
+/// [`solve`] (the differential proptests lock this). The shard count
+/// comes from [`SolverOptions::parallelism`] (`0` = one shard per
+/// available core) clamped to the universe word count; universes smaller
+/// than two words (≤ 64 items) always fall back to the sequential path —
+/// word granularity is what makes sharding exact, so it is also the
+/// finest split.
+///
+/// # Panics
+///
+/// Panics if `problem` does not cover all nodes of `graph`.
+pub fn solve_par(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+) -> Solution {
+    check_coverage(graph, problem);
+    let words = problem.universe_size.div_ceil(WORD_BITS);
+    let shards = shard_count(opts, words, true);
+    if shards > 1 {
+        solve_sharded(graph, problem, opts, shards)
+    } else {
+        let mut scratch = SolverScratch::new();
+        solve_core(
+            graph,
+            problem,
+            opts,
+            &mut scratch,
+            Window::full(problem.universe_size),
+        );
+        scratch.export()
+    }
+}
+
+fn check_coverage(graph: &IntervalGraph, problem: &PlacementProblem) {
     assert_eq!(
         problem.num_nodes(),
-        n,
+        graph.num_nodes(),
         "problem must cover every graph node"
     );
-    let cap = problem.universe_size;
-    let empty = BitSet::new(cap);
+}
 
-    let mut vars = ConsumptionVars {
-        steal: vec![empty.clone(); n],
-        give: vec![empty.clone(); n],
-        block: vec![empty.clone(); n],
-        taken_out: vec![empty.clone(); n],
-        take: vec![empty.clone(); n],
-        taken_in: vec![empty.clone(); n],
-        block_loc: vec![empty.clone(); n],
-        take_loc: vec![empty.clone(); n],
-        give_loc: vec![empty.clone(); n],
-        steal_loc: vec![empty.clone(); n],
-    };
+fn solve_sharded(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    shards: usize,
+) -> Solution {
+    let cap = problem.universe_size;
+    let total_words = cap.div_ceil(WORD_BITS);
+    debug_assert!(shards >= 2 && shards <= total_words);
+    // Even word partition: the first `rem` shards get one extra word.
+    let base = total_words / shards;
+    let rem = total_words % shards;
+    let mut windows = Vec::with_capacity(shards);
+    let mut word0 = 0usize;
+    for k in 0..shards {
+        let words = base + usize::from(k < rem);
+        let bits = if word0 + words == total_words {
+            cap - word0 * WORD_BITS
+        } else {
+            words * WORD_BITS
+        };
+        windows.push(Window { word0, words, bits });
+        word0 += words;
+    }
+
+    let results: Vec<(SolverScratch, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = windows
+            .iter()
+            .map(|&win| {
+                s.spawn(move || {
+                    let mut scratch = SolverScratch::new();
+                    solve_core(graph, problem, opts, &mut scratch, win);
+                    (scratch, win.word0)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver shard panicked"))
+            .collect()
+    });
+
+    let mut solution = Solution::empty(graph.num_nodes(), cap);
+    for (scratch, word0) in &results {
+        scratch.write_into(&mut solution, *word0);
+    }
+    solution
+}
+
+#[inline]
+fn window_of<'a>(set: &'a BitSet, win: &Window) -> &'a [u64] {
+    &set.words()[win.word0..win.word0 + win.words]
+}
+
+/// Runs the four-pass schedule over one word window of the universe,
+/// leaving every variable in `scratch`. This is the entire data plane:
+/// all set algebra below is fused slab kernels over arena rows.
+fn solve_core(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+    win: Window,
+) {
+    let n = graph.num_nodes();
+    scratch.prepare(n, win.bits);
+    let slab = &mut scratch.slab;
+    let fam = |f: usize, i: usize| f * n + i;
+    let tmp0 = NUM_FAMILIES * n;
+    let tmp1 = tmp0 + 1;
 
     // Headers where the *user* disabled hoisting (zero-trip safety, §3.2
     // C2 / §4.1). Following the paper's suggested mechanism, these get
@@ -148,13 +397,6 @@ pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOpt
     };
     // Headers explicitly poisoned on the graph get the same treatment.
     let poisoned = |h: NodeId| -> bool { graph.is_poisoned(h) || user_no_hoist(h) };
-    let steal_init_of = |n: NodeId| -> BitSet {
-        if poisoned(n) {
-            BitSet::full(cap)
-        } else {
-            problem.steal_init[n.index()].clone()
-        }
-    };
 
     // ---- Pass 1: S2 (Eqs. 9–10) per header's children, then S1
     // (Eqs. 1–8), in REVERSEPREORDER. -------------------------------------
@@ -164,118 +406,128 @@ pub fn solve(graph: &IntervalGraph, problem: &PlacementProblem, opts: &SolverOpt
             let ci = c.index();
             // Eq. 9: GIVE_loc(c) =
             //   (GIVE(c) ∪ TAKE(c) ∪ ∩_{p ∈ PREDS^FJ} GIVE_loc(p)) − STEAL(c)
-            let mut give_loc = vars.give[ci].clone();
-            give_loc.union_with(&vars.take[ci]);
-            if let Some(meet) = intersect_over(graph.preds(c, EdgeMask::FJ), &vars.give_loc, cap) {
-                give_loc.union_with(&meet);
+            slab.copy_or(tmp0, fam(F_GIVE, ci), fam(F_TAKE, ci));
+            let mut first = true;
+            for p in graph.preds(c, EdgeMask::FJ) {
+                if first {
+                    slab.copy(tmp1, fam(F_GIVE_LOC, p.index()));
+                    first = false;
+                } else {
+                    slab.and(tmp1, fam(F_GIVE_LOC, p.index()));
+                }
             }
-            give_loc.subtract_with(&vars.steal[ci]);
-            vars.give_loc[ci] = give_loc;
+            if !first {
+                slab.or(tmp0, tmp1);
+            }
+            slab.copy_andnot(fam(F_GIVE_LOC, ci), tmp0, fam(F_STEAL, ci));
 
             // Eq. 10: STEAL_loc(c) = STEAL(c)
             //   ∪ ⋃_{p ∈ PREDS^FJ} (STEAL_loc(p) − GIVE_loc(p))
             //   ∪ ⋃_{p ∈ PREDS^S} STEAL_loc(p)
-            let mut steal_loc = vars.steal[ci].clone();
+            slab.copy(tmp0, fam(F_STEAL, ci));
             for p in graph.preds(c, EdgeMask::FJ) {
-                let mut s = vars.steal_loc[p.index()].clone();
-                s.subtract_with(&vars.give_loc[p.index()]);
-                steal_loc.union_with(&s);
+                slab.or_andnot(
+                    tmp0,
+                    fam(F_STEAL_LOC, p.index()),
+                    fam(F_GIVE_LOC, p.index()),
+                );
             }
             for p in graph.preds(c, EdgeMask::S) {
-                steal_loc.union_with(&vars.steal_loc[p.index()]);
+                slab.or(tmp0, fam(F_STEAL_LOC, p.index()));
             }
-            vars.steal_loc[ci] = steal_loc;
+            slab.copy(fam(F_STEAL_LOC, ci), tmp0);
         }
 
         // Eq. 1 / Eq. 2: fold in the interval summary via LASTCHILD.
-        let mut steal = steal_init_of(node);
-        let mut give = problem.give_init[ni].clone();
-        if let Some(lc) = graph.last_child(node) {
-            steal.union_with(&vars.steal_loc[lc.index()]);
-            give.union_with(&vars.give_loc[lc.index()]);
+        if poisoned(node) {
+            slab.fill(fam(F_STEAL, ni));
+        } else {
+            slab.load(fam(F_STEAL, ni), window_of(&problem.steal_init[ni], &win));
         }
-        vars.steal[ni] = steal;
-        vars.give[ni] = give;
+        slab.load(fam(F_GIVE, ni), window_of(&problem.give_init[ni], &win));
+        if let Some(lc) = graph.last_child(node) {
+            slab.or(fam(F_STEAL, ni), fam(F_STEAL_LOC, lc.index()));
+            slab.or(fam(F_GIVE, ni), fam(F_GIVE_LOC, lc.index()));
+        }
 
         // Eq. 3: BLOCK(n) = STEAL ∪ GIVE ∪ ⋃_{s ∈ SUCCS^E} BLOCK_loc(s)
-        let mut block = vars.steal[ni].clone();
-        block.union_with(&vars.give[ni]);
+        slab.copy_or(fam(F_BLOCK, ni), fam(F_STEAL, ni), fam(F_GIVE, ni));
         for s in graph.succs(node, EdgeMask::E) {
-            block.union_with(&vars.block_loc[s.index()]);
+            slab.or(fam(F_BLOCK, ni), fam(F_BLOCK_LOC, s.index()));
         }
-        vars.block[ni] = block;
 
         // Eq. 4: TAKEN_out(n) = ∩_{s ∈ SUCCS^FJS} TAKEN_in(s)
-        vars.taken_out[ni] = intersect_over(graph.succs(node, EdgeMask::FJS), &vars.taken_in, cap)
-            .unwrap_or_else(|| BitSet::new(cap));
+        let mut first = true;
+        for s in graph.succs(node, EdgeMask::FJS) {
+            if first {
+                slab.copy(fam(F_TAKEN_OUT, ni), fam(F_TAKEN_IN, s.index()));
+                first = false;
+            } else {
+                slab.and(fam(F_TAKEN_OUT, ni), fam(F_TAKEN_IN, s.index()));
+            }
+        }
+        if first {
+            slab.clear(fam(F_TAKEN_OUT, ni));
+        }
 
         // Eq. 5: TAKE(n) = TAKE_init
         //   ∪ (⋃_{s ∈ SUCCS^E} TAKEN_in(s) − STEAL(n))
         //   ∪ ((TAKEN_out(n) ∩ ⋃_{s ∈ SUCCS^E} TAKE_loc(s)) − BLOCK(n))
-        let mut take = problem.take_init[ni].clone();
+        slab.load(fam(F_TAKE, ni), window_of(&problem.take_init[ni], &win));
         if !poisoned(node) {
-            let mut hoisted = BitSet::new(cap);
+            slab.clear(tmp0);
             for s in graph.succs(node, EdgeMask::E) {
-                hoisted.union_with(&vars.taken_in[s.index()]);
+                slab.or(tmp0, fam(F_TAKEN_IN, s.index()));
             }
-            hoisted.subtract_with(&vars.steal[ni]);
-            take.union_with(&hoisted);
+            slab.or_andnot(fam(F_TAKE, ni), tmp0, fam(F_STEAL, ni));
 
-            let mut maybe = BitSet::new(cap);
+            slab.clear(tmp0);
             for s in graph.succs(node, EdgeMask::E) {
-                maybe.union_with(&vars.take_loc[s.index()]);
+                slab.or(tmp0, fam(F_TAKE_LOC, s.index()));
             }
-            maybe.intersect_with(&vars.taken_out[ni]);
-            maybe.subtract_with(&vars.block[ni]);
-            take.union_with(&maybe);
+            slab.and(tmp0, fam(F_TAKEN_OUT, ni));
+            slab.andnot(tmp0, fam(F_BLOCK, ni));
+            slab.or(fam(F_TAKE, ni), tmp0);
         }
-        vars.take[ni] = take;
 
         // Eq. 6: TAKEN_in(n) = TAKE(n) ∪ (TAKEN_out(n) − BLOCK(n))
-        let mut taken_in = vars.taken_out[ni].clone();
-        taken_in.subtract_with(&vars.block[ni]);
-        taken_in.union_with(&vars.take[ni]);
-        vars.taken_in[ni] = taken_in;
+        slab.copy_andnot(fam(F_TAKEN_IN, ni), fam(F_TAKEN_OUT, ni), fam(F_BLOCK, ni));
+        slab.or(fam(F_TAKEN_IN, ni), fam(F_TAKE, ni));
 
         // Eq. 7: BLOCK_loc(n) = (BLOCK(n) ∪ ⋃_{s ∈ SUCCS^F} BLOCK_loc(s))
         //                        − TAKE(n)
-        let mut block_loc = vars.block[ni].clone();
+        slab.copy(fam(F_BLOCK_LOC, ni), fam(F_BLOCK, ni));
         for s in graph.succs(node, EdgeMask::F) {
-            block_loc.union_with(&vars.block_loc[s.index()]);
+            slab.or(fam(F_BLOCK_LOC, ni), fam(F_BLOCK_LOC, s.index()));
         }
-        block_loc.subtract_with(&vars.take[ni]);
-        vars.block_loc[ni] = block_loc;
+        slab.andnot(fam(F_BLOCK_LOC, ni), fam(F_TAKE, ni));
 
         // Eq. 8: TAKE_loc(n) = TAKE(n)
         //   ∪ (⋃_{s ∈ SUCCS^EF} TAKE_loc(s) − BLOCK(n))
-        let mut take_loc = BitSet::new(cap);
+        slab.clear(fam(F_TAKE_LOC, ni));
         for s in graph.succs(node, EdgeMask::EF) {
-            take_loc.union_with(&vars.take_loc[s.index()]);
+            slab.or(fam(F_TAKE_LOC, ni), fam(F_TAKE_LOC, s.index()));
         }
-        take_loc.subtract_with(&vars.block[ni]);
-        take_loc.union_with(&vars.take[ni]);
-        vars.take_loc[ni] = take_loc;
+        slab.andnot(fam(F_TAKE_LOC, ni), fam(F_BLOCK, ni));
+        slab.or(fam(F_TAKE_LOC, ni), fam(F_TAKE, ni));
     }
 
     // ---- Passes 2–3: S3 (Eqs. 11–13) in PREORDER, then S4 (Eqs. 14–15),
     // once per flavor. -----------------------------------------------------
-    let eager = place(graph, problem, &vars, Flavor::Eager);
-    let lazy = place(graph, problem, &vars, Flavor::Lazy);
-
-    Solution { vars, eager, lazy }
+    place_pass(graph, slab, n, tmp0, Flavor::Eager);
+    place_pass(graph, slab, n, tmp0, Flavor::Lazy);
 }
 
-fn place(
+fn place_pass(
     graph: &IntervalGraph,
-    problem: &PlacementProblem,
-    vars: &ConsumptionVars,
+    slab: &mut gnt_dataflow::BitSlab,
+    n: usize,
+    tmp0: usize,
     flavor: Flavor,
-) -> FlavorSolution {
-    let n = graph.num_nodes();
-    let cap = problem.universe_size;
-    let mut given_in = vec![BitSet::new(cap); n];
-    let mut given = vec![BitSet::new(cap); n];
-    let mut given_out = vec![BitSet::new(cap); n];
+) {
+    let off = flavor_offset(flavor);
+    let fam = |f: usize, i: usize| f * n + i;
+    let (f_gin, f_given, f_gout) = (F_GIVEN_IN + off, F_GIVEN + off, F_GIVEN_OUT + off);
 
     for &node in graph.preorder() {
         let ni = node.index();
@@ -292,14 +544,16 @@ fn place(
         // x — the jump path on iteration 2 has x destroyed). Subtracting
         // STEAL(h) restores must-availability over all iterations and is
         // consistent with every §4 example value.
-        let mut gin = match graph.header_of(node) {
+        match graph.header_of(node) {
             Some(h) => {
-                let mut s = given[h.index()].clone();
-                s.subtract_with(&vars.steal[h.index()]);
-                s
+                slab.copy_andnot(
+                    fam(f_gin, ni),
+                    fam(f_given, h.index()),
+                    fam(F_STEAL, h.index()),
+                );
             }
-            None => BitSet::new(cap),
-        };
+            None => slab.clear(fam(f_gin, ni)),
+        }
         // On reversed graphs a jump may enter this node's interval
         // *bypassing* it (§5.3). Availability at the header must then
         // also hold along those entries, so the jump-in sources join the
@@ -312,84 +566,56 @@ fn place(
                 .preds(node, EdgeMask::FJ)
                 .chain(graph.jump_in_sources(node).iter().copied())
         };
-        if let Some(meet) = intersect_over(eq11_preds(), &given_out, cap) {
-            gin.union_with(&meet);
+        let mut first = true;
+        for p in eq11_preds() {
+            if first {
+                slab.copy(tmp0, fam(f_gout, p.index()));
+                first = false;
+            } else {
+                slab.and(tmp0, fam(f_gout, p.index()));
+            }
         }
-        let mut any = BitSet::new(cap);
+        if !first {
+            slab.or(fam(f_gin, ni), tmp0);
+        }
+        slab.clear(tmp0);
         for q in eq11_preds() {
-            any.union_with(&given_out[q.index()]);
+            slab.or(tmp0, fam(f_gout, q.index()));
         }
-        any.intersect_with(&vars.taken_in[ni]);
-        gin.union_with(&any);
-        given_in[ni] = gin;
+        slab.and(tmp0, fam(F_TAKEN_IN, ni));
+        slab.or(fam(f_gin, ni), tmp0);
 
         // Eq. 12: GIVEN(n) = GIVEN_in(n) ∪ TAKEN_in(n)   (EAGER)
         //                  = GIVEN_in(n) ∪ TAKE(n)       (LAZY)
-        let mut g = given_in[ni].clone();
-        match flavor {
-            Flavor::Eager => {
-                g.union_with(&vars.taken_in[ni]);
-            }
-            Flavor::Lazy => {
-                g.union_with(&vars.take[ni]);
-            }
-        }
-        given[ni] = g;
+        let consumed = match flavor {
+            Flavor::Eager => F_TAKEN_IN,
+            Flavor::Lazy => F_TAKE,
+        };
+        slab.copy_or(fam(f_given, ni), fam(f_gin, ni), fam(consumed, ni));
 
         // Eq. 13: GIVEN_out(n) = (GIVE(n) ∪ GIVEN(n)) − STEAL(n)
-        let mut gout = vars.give[ni].clone();
-        gout.union_with(&given[ni]);
-        gout.subtract_with(&vars.steal[ni]);
-        given_out[ni] = gout;
+        slab.copy_or_andnot(
+            fam(f_gout, ni),
+            fam(F_GIVE, ni),
+            fam(f_given, ni),
+            fam(F_STEAL, ni),
+        );
     }
 
     // S4: Eqs. 14–15.
-    let mut res_in = vec![BitSet::new(cap); n];
-    let mut res_out = vec![BitSet::new(cap); n];
+    let (f_rin, f_rout) = (F_RES_IN + off, F_RES_OUT + off);
     for node in graph.nodes() {
         let ni = node.index();
         // Eq. 14: RES_in(n) = GIVEN(n) − GIVEN_in(n)
-        let mut rin = given[ni].clone();
-        rin.subtract_with(&given_in[ni]);
-        res_in[ni] = rin;
+        slab.copy_andnot(fam(f_rin, ni), fam(f_given, ni), fam(f_gin, ni));
 
         // Eq. 15: RES_out(n) = ⋃_{s ∈ SUCCS^FJ} GIVEN_in(s) − GIVEN_out(n)
-        let mut rout = BitSet::new(cap);
+        slab.clear(fam(f_rout, ni));
         for s in graph.succs(node, EdgeMask::FJ) {
-            rout.union_with(&given_in[s.index()]);
+            slab.or(fam(f_rout, ni), fam(f_gin, s.index()));
         }
-        rout.subtract_with(&given_out[ni]);
-        res_out[ni] = rout;
+        slab.andnot(fam(f_rout, ni), fam(f_gout, ni));
     }
-
-    FlavorSolution {
-        given_in,
-        given,
-        given_out,
-        res_in,
-        res_out,
-    }
-}
-
-/// Intersection over `sets[n]` for the given neighbors; `None` when there
-/// are no neighbors (the paper's "empty set results" convention is applied
-/// by the caller).
-fn intersect_over(
-    nodes: impl Iterator<Item = NodeId>,
-    sets: &[BitSet],
-    cap: usize,
-) -> Option<BitSet> {
-    let mut acc: Option<BitSet> = None;
-    for p in nodes {
-        match &mut acc {
-            None => acc = Some(sets[p.index()].clone()),
-            Some(a) => {
-                a.intersect_with(&sets[p.index()]);
-            }
-        }
-    }
-    let _ = cap;
-    acc
 }
 
 #[cfg(test)]
@@ -640,5 +866,72 @@ mod tests {
         // Lazy production at the consumer, every iteration.
         assert!(sol.lazy.res_in[consumer.index()].contains(0));
         assert!(sol.eager.res_in[g.root().index()].is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_solves() {
+        // Two different problems through one scratch: results match the
+        // fresh-scratch path, and the arena is reshaped, not corrupted.
+        let src = "do i = 1, N\n  ... = x(a(i))\nenddo\n... = x(1)";
+        let g = graph(src);
+        let mut scratch = SolverScratch::new();
+        for items in [1usize, 3, 70] {
+            let p = parse(src).unwrap();
+            let consumer = stmt_node(&g, &p, "x(a(i))");
+            let mut prob = PlacementProblem::new(g.num_nodes(), items);
+            prob.take(consumer, items - 1);
+            let fresh = solve(&g, &prob, &SolverOptions::default());
+            let reused = solve_with_scratch(&g, &prob, &SolverOptions::default(), &mut scratch);
+            assert_eq!(fresh, reused, "items = {items}");
+            assert_eq!(
+                scratch.num_productions(Flavor::Eager),
+                fresh.eager.num_productions()
+            );
+        }
+    }
+
+    #[test]
+    fn solve_par_is_bit_identical_on_multiword_universe() {
+        let src = "do i = 1, N\n  ... = x(a(i))\n  z = 0\nenddo\n... = x(1)";
+        let p = parse(src).unwrap();
+        let g = graph(src);
+        let consumer = stmt_node(&g, &p, "x(a(i))");
+        let killer = stmt_node(&g, &p, "z = 0");
+        let cap = 300; // 5 words
+        let mut prob = PlacementProblem::new(g.num_nodes(), cap);
+        for item in [0, 63, 64, 65, 128, 255, 299] {
+            prob.take(consumer, item);
+            prob.steal(killer, item);
+        }
+        let seq = solve(&g, &prob, &SolverOptions::default());
+        for shards in [2usize, 3, 4, 5, 8] {
+            let opts = SolverOptions {
+                parallelism: shards,
+                ..Default::default()
+            };
+            assert_eq!(seq, solve_par(&g, &prob, &opts), "shards = {shards}");
+            // And through the `solve` dispatch too.
+            assert_eq!(seq, solve(&g, &prob, &opts), "solve, shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn solve_par_falls_back_below_one_word() {
+        let g = graph("... = x(1)");
+        let mut prob = PlacementProblem::new(g.num_nodes(), 8);
+        let consumer = g
+            .nodes()
+            .find(|&n| matches!(g.kind(n), NodeKind::Stmt(_)))
+            .unwrap();
+        prob.take(consumer, 3);
+        let opts = SolverOptions {
+            parallelism: 4,
+            ..Default::default()
+        };
+        // 8 items = 1 word: must not shard, must still be correct.
+        assert_eq!(
+            solve(&g, &prob, &SolverOptions::default()),
+            solve_par(&g, &prob, &opts)
+        );
     }
 }

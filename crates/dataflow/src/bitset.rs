@@ -4,12 +4,25 @@
 //! (array sections, expressions, …). Every node of the interval flow graph
 //! carries a dozen such sets, so the representation must be compact and the
 //! bulk operations (union, intersection, difference) must be word-parallel.
-//! [`BitSet`] is the classic `Vec<u64>` bit vector used by most dataflow
-//! engines.
+//! [`BitSet`] is the classic dense bit vector used by most dataflow
+//! engines, with one twist: universes of at most 64 items — the common
+//! case for placement problems — store their single word **inline**, so
+//! creating, cloning, and dropping such sets never touches the allocator.
+//! A solver exporting tens of thousands of per-node sets is then bounded
+//! by memory bandwidth, not malloc.
 
 use std::fmt;
 
 const WORD_BITS: usize = 64;
+
+/// Backing storage: one inline word for capacities ≤ 64, a heap vector
+/// beyond that. The variant is a function of `capacity` alone, so derived
+/// equality and hashing never compare across representations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline(u64),
+    Heap(Vec<u64>),
+}
 
 /// A set of small integers (`0..capacity`), stored as a dense bit vector.
 ///
@@ -31,39 +44,125 @@ const WORD_BITS: usize = 64;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
-    words: Vec<u64>,
+    repr: Repr,
     capacity: usize,
 }
 
 impl BitSet {
     /// Creates an empty set able to hold elements `0..capacity`.
+    /// Allocation-free for `capacity ≤ 64`.
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            words: vec![0; capacity.div_ceil(WORD_BITS)],
-            capacity,
-        }
+        let repr = if capacity <= WORD_BITS {
+            Repr::Inline(0)
+        } else {
+            Repr::Heap(vec![0; capacity.div_ceil(WORD_BITS)])
+        };
+        BitSet { repr, capacity }
     }
 
     /// Creates a set containing every element of `0..capacity`.
     pub fn full(capacity: usize) -> Self {
         let mut s = BitSet::new(capacity);
-        for w in &mut s.words {
+        for w in s.words_mut() {
             *w = !0;
         }
+        s.trim();
+        debug_assert!(s.is_trimmed(), "full({capacity}) left untrimmed high bits");
+        s
+    }
+
+    /// Builds a set directly from backing words (e.g. a [`crate::BitSlab`]
+    /// row). Bits beyond `capacity` in the last word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match `capacity`.
+    pub fn from_words(capacity: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            capacity.div_ceil(WORD_BITS),
+            "word count does not match capacity {capacity}"
+        );
+        let repr = if capacity <= WORD_BITS {
+            Repr::Inline(words.first().copied().unwrap_or(0))
+        } else {
+            Repr::Heap(words)
+        };
+        let mut s = BitSet { repr, capacity };
         s.trim();
         s
     }
 
+    /// Like [`BitSet::from_words`] but borrowing: copies the words without
+    /// consuming a `Vec`, and allocates nothing at all for `capacity ≤ 64`.
+    /// This is the hot path for exporting solver arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match `capacity`.
+    #[inline]
+    pub fn from_word_slice(capacity: usize, words: &[u64]) -> Self {
+        assert_eq!(
+            words.len(),
+            capacity.div_ceil(WORD_BITS),
+            "word count does not match capacity {capacity}"
+        );
+        let repr = if capacity <= WORD_BITS {
+            Repr::Inline(words.first().copied().unwrap_or(0))
+        } else {
+            Repr::Heap(words.to_vec())
+        };
+        let mut s = BitSet { repr, capacity };
+        s.trim();
+        s
+    }
+
+    /// The raw backing words, least-significant bit of word 0 = element 0.
+    /// Bits beyond `capacity` in the last word are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(_) if self.capacity == 0 => &[],
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Mutable access to the backing words, for bulk writes (e.g.
+    /// stitching sharded solver results back together). The caller must
+    /// keep bits beyond `capacity` zero; the bulk set operations
+    /// debug-assert this invariant.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(_) if self.capacity == 0 => &mut [],
+            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Heap(v) => v,
+        }
+    }
+
     /// The number of elements this set can hold.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// `true` if every bit beyond `capacity` in the last word is zero —
+    /// the invariant all bulk operations rely on.
+    fn is_trimmed(&self) -> bool {
+        let used = self.capacity % WORD_BITS;
+        used == 0
+            || self
+                .words()
+                .last()
+                .is_none_or(|last| last & !((1u64 << used) - 1) == 0)
     }
 
     /// Clears excess bits beyond `capacity` in the last word.
     fn trim(&mut self) {
         let used = self.capacity % WORD_BITS;
         if used != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << used) - 1;
             }
         }
@@ -74,11 +173,13 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `elem >= capacity`.
+    #[inline]
     pub fn insert(&mut self, elem: usize) -> bool {
         assert!(elem < self.capacity, "bitset element {elem} out of range");
         let (w, b) = (elem / WORD_BITS, elem % WORD_BITS);
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word |= 1 << b;
         !had
     }
 
@@ -88,41 +189,47 @@ impl BitSet {
             return false;
         }
         let (w, b) = (elem / WORD_BITS, elem % WORD_BITS);
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word &= !(1 << b);
         had
     }
 
     /// Tests membership.
+    #[inline]
     pub fn contains(&self, elem: usize) -> bool {
         if elem >= self.capacity {
             return false;
         }
-        self.words[elem / WORD_BITS] & (1 << (elem % WORD_BITS)) != 0
+        self.words()[elem / WORD_BITS] & (1 << (elem % WORD_BITS)) != 0
     }
 
     /// Removes all elements.
     pub fn clear(&mut self) {
-        for w in &mut self.words {
+        for w in self.words_mut() {
             *w = 0;
         }
     }
 
     /// `true` if the set has no elements.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// The number of elements in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// `self ← self ∪ other`; returns `true` if `self` changed.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
+        debug_assert!(
+            self.is_trimmed() && other.is_trimmed(),
+            "union_with operand has untrimmed high bits"
+        );
         let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             let new = *a | b;
             changed |= new != *a;
             *a = new;
@@ -134,7 +241,7 @@ impl BitSet {
     pub fn intersect_with(&mut self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
         let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             let new = *a & b;
             changed |= new != *a;
             *a = new;
@@ -145,8 +252,12 @@ impl BitSet {
     /// `self ← self − other`; returns `true` if `self` changed.
     pub fn subtract_with(&mut self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
+        debug_assert!(
+            self.is_trimmed() && other.is_trimmed(),
+            "subtract_with operand has untrimmed high bits"
+        );
         let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             let new = *a & !b;
             changed |= new != *a;
             *a = new;
@@ -157,7 +268,7 @@ impl BitSet {
     /// Replaces the contents of `self` with those of `other`.
     pub fn copy_from(&mut self, other: &BitSet) {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.copy_from_slice(&other.words);
+        self.words_mut().copy_from_slice(other.words());
     }
 
     /// Returns `self ∪ other` as a fresh set.
@@ -184,24 +295,28 @@ impl BitSet {
     /// `true` if `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` if `self ∩ other = ∅`.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
+        let words = self.words();
         Iter {
-            set: self,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 }
@@ -227,7 +342,7 @@ impl fmt::Display for BitSet {
 
 /// Iterator over the elements of a [`BitSet`], produced by [`BitSet::iter`].
 pub struct Iter<'a> {
-    set: &'a BitSet,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
 }
@@ -243,10 +358,10 @@ impl Iterator for Iter<'_> {
                 return Some(self.word_idx * WORD_BITS + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.set.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
     }
 }
@@ -321,6 +436,61 @@ mod tests {
         assert_eq!(s.len(), 67);
         assert!(s.contains(0) && s.contains(66));
         assert!(!s.contains(67));
+    }
+
+    /// The word-boundary capacities the slab kernels rely on: the last
+    /// word is exactly full (64, 128), one short (63), or one over (65).
+    #[test]
+    fn full_is_trimmed_at_word_boundaries() {
+        for cap in [63, 64, 65, 128] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "cap {cap}");
+            assert!(s.is_trimmed(), "cap {cap}");
+            assert!(s.contains(cap - 1) && !s.contains(cap));
+            // De Morgan at the boundary: U − U = ∅, U ∪ U = U.
+            assert!(s.difference(&s).is_empty(), "cap {cap}");
+            assert_eq!(s.union(&s), s, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn bulk_ops_stay_trimmed_at_word_boundaries() {
+        for cap in [63, 64, 65, 128] {
+            let mut a = BitSet::full(cap);
+            let b = BitSet::full(cap);
+            a.union_with(&b);
+            assert!(a.is_trimmed(), "union cap {cap}");
+            assert_eq!(a.len(), cap);
+            a.subtract_with(&b);
+            assert!(a.is_trimmed() && a.is_empty(), "subtract cap {cap}");
+            let mut c = BitSet::full(cap);
+            c.intersect_with(&b);
+            assert!(c.is_trimmed(), "intersect cap {cap}");
+            assert_eq!(c.len(), cap);
+            // Element ops at the exact boundary indices.
+            let mut d = BitSet::new(cap);
+            assert!(d.insert(cap - 1));
+            assert!(d.is_trimmed());
+            assert!(d.remove(cap - 1));
+            assert!(!d.contains(cap));
+        }
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_trims() {
+        let a = BitSet::full(65);
+        let b = BitSet::from_words(65, a.words().to_vec());
+        assert_eq!(a, b);
+        // Untrimmed input is repaired rather than trusted.
+        let c = BitSet::from_words(65, vec![!0, !0]);
+        assert_eq!(c.len(), 65);
+        assert!(c.is_trimmed());
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_rejects_wrong_length() {
+        let _ = BitSet::from_words(65, vec![0]);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! verifiers:
 //!
 //! * [`BitSet`] — dense bit vectors over a finite universe,
+//! * [`BitSlab`] — a flat arena of bit rows with fused word-level kernels,
+//!   the zero-allocation data plane of the GIVE-N-TAKE solver,
 //! * [`Universe`] — interning of domain items ([`ItemId`]) into bitset
 //!   indices,
 //! * [`GenKillProblem`] — a generic iterative (worklist) solver for classic
@@ -34,9 +36,11 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod slab;
 mod solver;
 mod universe;
 
 pub use bitset::{BitSet, Iter};
+pub use slab::{BitMut, BitRef, BitSlab};
 pub use solver::{Direction, FlowGraph, GenKillProblem, Meet, SimpleGraph, Solution};
 pub use universe::{ItemId, Universe};
