@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! gnt-lint file.minif [--before|--after] [--deny CODE[,CODE…]]
-//!          [--format text|json] [--distributed a,b] [--zero-trip]
+//!          [--format text|json|sarif] [--distributed a,b] [--zero-trip]
 //!          [--dot out.dot] [--explain CODE] [--list-codes]
+//!          [--why NODE:ITEM[:VAR]] [--why-not NODE:ITEM[:VAR]]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 denied findings (errors always deny), 2 usage
 //! or parse errors.
 
 use gnt_analyze::driver::{lint_source, LintOptions, OutputFormat, ProblemSelect};
-use gnt_analyze::{explain, render_json, render_text, REGISTRY};
+use gnt_analyze::provenance::{run_query, QuerySpec};
+use gnt_analyze::{explain, render_json, render_sarif, render_text, CodeFamily, REGISTRY};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -20,12 +22,17 @@ options:
   --before            lint only the BEFORE (READ) problem
   --after             lint only the AFTER (WRITE) problem
   --deny CODE[,...]   fail (exit 1) on these warning codes; `all` denies every finding
-  --format FMT        `text` (default) or `json`
+  --format FMT        `text` (default), `json`, or `sarif`
   --distributed LIST  comma-separated distributed arrays (default: auto-detect)
   --zero-trip         also lint zero-trip executions (reported as warnings)
   --dot PATH          write the interval graph with findings highlighted (Graphviz)
   --explain CODE      print the registry entry for a diagnostic code
-  --list-codes        print the whole diagnostic registry
+  --list-codes        print the whole diagnostic registry, grouped by family
+  --why SPEC          explain why a placement bit is set; SPEC is NODE:ITEM[:VAR]
+                      (ITEM: universe index or section name; VAR: a Figure-13
+                      variable like res_in, given_in.lazy — default res_in)
+  --why-not SPEC      explain why a placement bit is NOT set (names the
+                      blocking conjunct and derives the blocker)
   -h, --help          show this help
 ";
 
@@ -34,6 +41,7 @@ struct Args {
     opts: LintOptions,
     format: OutputFormat,
     dot: Option<String>,
+    query: Option<(QuerySpec, bool)>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -42,6 +50,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         opts: LintOptions::default(),
         format: OutputFormat::Text,
         dot: None,
+        query: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -56,14 +65,21 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 return Ok(None);
             }
             "--list-codes" => {
-                for info in REGISTRY {
-                    println!(
-                        "{} [{:7}] {} ({})",
-                        info.code,
-                        info.severity.to_string(),
-                        info.title,
-                        info.reference
-                    );
+                for family in [
+                    CodeFamily::Correctness,
+                    CodeFamily::CommSafety,
+                    CodeFamily::OptimalityAudit,
+                ] {
+                    println!("[{family}]");
+                    for info in REGISTRY.iter().filter(|i| i.family == family) {
+                        println!(
+                            "  {} [{:7}] {} ({})",
+                            info.code,
+                            info.severity.to_string(),
+                            info.title,
+                            info.reference
+                        );
+                    }
                 }
                 return Ok(None);
             }
@@ -71,8 +87,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 let code = value("--explain")?;
                 let info = explain(&code).ok_or_else(|| format!("unknown code `{code}`"))?;
                 println!(
-                    "{}: {}\n  reference: {}\n  default severity: {}",
-                    info.code, info.title, info.reference, info.severity
+                    "{}: {}\n  family: {}\n  reference: {}\n  default severity: {}",
+                    info.code, info.title, info.family, info.reference, info.severity
                 );
                 return Ok(None);
             }
@@ -92,8 +108,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 args.format = match value("--format")?.as_str() {
                     "text" => OutputFormat::Text,
                     "json" => OutputFormat::Json,
+                    "sarif" => OutputFormat::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 };
+            }
+            "--why" => {
+                args.query = Some((QuerySpec::parse(&value("--why")?)?, false));
+            }
+            "--why-not" => {
+                args.query = Some((QuerySpec::parse(&value("--why-not")?)?, true));
             }
             "--distributed" => {
                 let v = value("--distributed")?;
@@ -109,8 +132,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 args.format = match &other["--format=".len()..] {
                     "text" => OutputFormat::Text,
                     "json" => OutputFormat::Json,
+                    "sarif" => OutputFormat::Sarif,
                     fmt => return Err(format!("unknown format `{fmt}`")),
                 };
+            }
+            other if other.starts_with("--why=") => {
+                args.query = Some((QuerySpec::parse(&other["--why=".len()..])?, false));
+            }
+            other if other.starts_with("--why-not=") => {
+                args.query = Some((QuerySpec::parse(&other["--why-not=".len()..])?, true));
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => {
@@ -144,6 +174,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some((spec, why_not)) = &args.query {
+        let program = match gnt_ir::parse(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {file}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run_query(&program, &args.opts, spec, *why_not, &file, &src) {
+            Ok(out) => {
+                print!("{out}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let (_, report) = match lint_source(&src, &args.opts) {
         Ok(out) => out,
         Err(e) => {
@@ -153,6 +202,7 @@ fn main() -> ExitCode {
     };
     match args.format {
         OutputFormat::Json => print!("{}", render_json(&report.diagnostics, &file, &src)),
+        OutputFormat::Sarif => print!("{}", render_sarif(&report.diagnostics, &file, &src)),
         OutputFormat::Text => {
             for d in &report.diagnostics {
                 println!("{}", render_text(d, &file, &src));

@@ -113,7 +113,8 @@ impl Replay<'_> {
                         "GNT012",
                         format!("{} is re-sent while already in flight", self.name(op.item)),
                     )
-                    .at(node),
+                    .at(node)
+                    .for_item(op.item.index()),
                     op.item.0,
                     node.0,
                 ));
@@ -126,7 +127,8 @@ impl Replay<'_> {
                             self.name(op.item)
                         ),
                     )
-                    .at(node),
+                    .at(node)
+                    .for_item(op.item.index()),
                     op.item.0,
                     node.0,
                 ));
@@ -151,6 +153,7 @@ impl Replay<'_> {
                             ),
                         )
                         .at(node)
+                        .for_item(op.item.index())
                         .note(format!("the conflicting transfer started at node {onode}"))
                         .note("read and write transfers of aliasing sections must not overlap in time"),
                         op.item.0,
@@ -177,6 +180,7 @@ impl Replay<'_> {
                             ),
                         )
                         .at(node)
+                        .for_item(op.item.index())
                         .note(
                             "the receive blocks forever if the message was never sent (deadlock)",
                         ),
@@ -223,7 +227,8 @@ pub fn lint_plan(plan: &CommPlan, opts: &CommLintOptions) -> Vec<Diagnostic> {
                         plan.analysis.universe.resolve(item)
                     ),
                 )
-                .at(node),
+                .at(node)
+                .for_item(item.index()),
             );
             seen.insert(("GNT011", item.0, node.0));
         }
@@ -244,7 +249,8 @@ pub fn lint_plan(plan: &CommPlan, opts: &CommLintOptions) -> Vec<Diagnostic> {
                         plan.analysis.universe.resolve(item)
                     ),
                 )
-                .at(node),
+                .at(node)
+                .for_item(item.index()),
             );
         }
     }
@@ -302,6 +308,7 @@ pub fn lint_plan(plan: &CommPlan, opts: &CommLintOptions) -> Vec<Diagnostic> {
                     ),
                 )
                 .at(node)
+                .for_item(item.index())
                 .note("an unmatched eager send leaks the message buffer"),
                 item.0,
                 node.0,

@@ -30,11 +30,47 @@ impl fmt::Display for Severity {
     }
 }
 
+/// The family a diagnostic code belongs to, used to group `--list-codes`
+/// output and title `--explain` entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CodeFamily {
+    /// Placement correctness criteria (C1–C3) and structural invariants.
+    Correctness,
+    /// Communication-plan safety: dead transfers, leaks, deadlock, races.
+    CommSafety,
+    /// Optimality audits: legal placements that leave performance on the
+    /// table (O1–O3' and the GNT03x blame-backed audits).
+    OptimalityAudit,
+}
+
+impl fmt::Display for CodeFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CodeFamily::Correctness => "correctness",
+            CodeFamily::CommSafety => "comm-safety",
+            CodeFamily::OptimalityAudit => "optimality-audit",
+        })
+    }
+}
+
+/// A secondary location attached to a diagnostic: one link of a blame or
+/// why-not trail (`because: …`, `blocked by: …`). Rendered as a located
+/// note in text output and as `relatedLocations` in SARIF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelatedInfo {
+    /// What this location contributes to the finding.
+    pub message: String,
+    /// The interval-graph node, when the link points at one.
+    pub node: Option<NodeId>,
+    /// Source span, filled by [`attach_spans`].
+    pub span: Option<Span>,
+}
+
 /// One lint finding: a stable code, a severity, a primary location
 /// (graph node and, once attached, a source span), and free-form notes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable diagnostic code (`"GNT001"` … `"GNT022"`), see [`REGISTRY`].
+    /// Stable diagnostic code (`"GNT001"` … `"GNT032"`), see [`REGISTRY`].
     pub code: &'static str,
     /// Error or warning.
     pub severity: Severity,
@@ -45,8 +81,12 @@ pub struct Diagnostic {
     pub primary_span: Option<Span>,
     /// The interval-graph node the finding is anchored to.
     pub node: Option<NodeId>,
+    /// The dataflow item the finding is about, when it concerns one.
+    pub item: Option<usize>,
     /// Additional context lines rendered as `= note: …`.
     pub notes: Vec<String>,
+    /// Derivation trail: secondary locations explaining the finding.
+    pub related: Vec<RelatedInfo>,
 }
 
 impl Diagnostic {
@@ -58,7 +98,9 @@ impl Diagnostic {
             message: message.into(),
             primary_span: None,
             node: None,
+            item: None,
             notes: Vec::new(),
+            related: Vec::new(),
         }
     }
 
@@ -87,6 +129,22 @@ impl Diagnostic {
         self.notes.push(note.into());
         self
     }
+
+    /// Tags the diagnostic with the dataflow item it concerns.
+    pub fn for_item(mut self, item: usize) -> Diagnostic {
+        self.item = Some(item);
+        self
+    }
+
+    /// Appends one link of a derivation trail, anchored to `node`.
+    pub fn because(mut self, message: impl Into<String>, node: Option<NodeId>) -> Diagnostic {
+        self.related.push(RelatedInfo {
+            message: message.into(),
+            node,
+            span: None,
+        });
+        self
+    }
 }
 
 /// Registry entry describing one stable diagnostic code.
@@ -100,6 +158,8 @@ pub struct CodeInfo {
     pub reference: &'static str,
     /// Default severity.
     pub severity: Severity,
+    /// Grouping family for `--list-codes` / `--explain`.
+    pub family: CodeFamily,
 }
 
 /// The diagnostic code registry: one stable code per failure shape of
@@ -110,78 +170,112 @@ pub const REGISTRY: &[CodeInfo] = &[
         title: "insufficient production: a consumer may execute unfed",
         reference: "C3 sufficiency, Figure 6",
         severity: Severity::Error,
+        family: CodeFamily::Correctness,
     },
     CodeInfo {
         code: "GNT002",
         title: "unbalanced placement: eager/lazy productions do not pair on some path",
         reference: "C1 balance, Figure 4",
         severity: Severity::Error,
+        family: CodeFamily::Correctness,
     },
     CodeInfo {
         code: "GNT003",
         title: "unsafe production: produced but never consumed",
         reference: "C2 safety, Figure 5",
         severity: Severity::Error,
+        family: CodeFamily::Correctness,
     },
     CodeInfo {
         code: "GNT004",
         title: "redundant production: item re-produced while still available",
         reference: "O1 non-redundancy, Figure 7",
         severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
     },
     CodeInfo {
         code: "GNT005",
         title: "excess producers: more production points than necessary",
         reference: "O2 few producers, Figure 8",
         severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
     },
     CodeInfo {
         code: "GNT006",
         title: "eager production later than necessary",
         reference: "O3 eager-early, Figure 9",
         severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
     },
     CodeInfo {
         code: "GNT007",
         title: "lazy production earlier than necessary",
         reference: "O3' lazy-late, Figure 10",
         severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
     },
     CodeInfo {
         code: "GNT010",
         title: "interval flow graph violates a structural invariant",
         reference: "graph structure, §3.3/§3.4",
         severity: Severity::Error,
+        family: CodeFamily::Correctness,
     },
     CodeInfo {
         code: "GNT011",
         title: "dead communication: transfer never consumed on any path",
         reference: "communication generation, §2/§6",
         severity: Severity::Error,
+        family: CodeFamily::CommSafety,
     },
     CodeInfo {
         code: "GNT012",
         title: "redundant communication: item re-communicated while available or in flight",
         reference: "O1 over communication plans",
         severity: Severity::Warning,
+        family: CodeFamily::CommSafety,
     },
     CodeInfo {
         code: "GNT020",
         title: "message leak: send never matched by a receive on some path",
         reference: "send/recv matching, §3.1",
         severity: Severity::Error,
+        family: CodeFamily::CommSafety,
     },
     CodeInfo {
         code: "GNT021",
         title: "deadlock potential: receive reachable before its send",
         reference: "send/recv matching, §3.1",
         severity: Severity::Error,
+        family: CodeFamily::CommSafety,
     },
     CodeInfo {
         code: "GNT022",
         title: "communication race: overlapping sections concurrently in flight",
         reference: "section aliasing, §4.1",
         severity: Severity::Error,
+        family: CodeFamily::CommSafety,
+    },
+    CodeInfo {
+        code: "GNT030",
+        title: "coalescable communications: adjacent transfers on the same slot could merge",
+        reference: "message aggregation, §6 / blame audit",
+        severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
+    },
+    CodeInfo {
+        code: "GNT031",
+        title: "latency-hiding slack: receive could legally move earlier",
+        reference: "production regions, §1 / blame audit",
+        severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
+    },
+    CodeInfo {
+        code: "GNT032",
+        title: "balance slack: consumption satisfiable by an existing free production",
+        reference: "GIVE/TAKE balance, §4.4 / blame audit",
+        severity: Severity::Warning,
+        family: CodeFamily::OptimalityAudit,
     },
 ];
 
@@ -197,6 +291,13 @@ pub fn attach_spans(diags: &mut [Diagnostic], spans: &[Option<Span>]) {
         if d.primary_span.is_none() {
             if let Some(n) = d.node {
                 d.primary_span = spans.get(n.index()).copied().flatten();
+            }
+        }
+        for r in &mut d.related {
+            if r.span.is_none() {
+                if let Some(n) = r.node {
+                    r.span = spans.get(n.index()).copied().flatten();
+                }
             }
         }
     }
@@ -261,6 +362,17 @@ pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
     for note in &diag.notes {
         let _ = writeln!(out, "   = note: {note}");
     }
+    for r in &diag.related {
+        let loc = match (r.span, r.node) {
+            (Some(span), _) => {
+                let (line, col) = span.start_line_col(src);
+                format!(" ({file}:{line}:{col})")
+            }
+            (None, Some(n)) => format!(" (node {n})"),
+            (None, None) => String::new(),
+        };
+        let _ = writeln!(out, "   = {}{loc}", r.message);
+    }
     if let Some(info) = explain(diag.code) {
         let _ = writeln!(out, "   = note: {}", info.reference);
     }
@@ -268,7 +380,7 @@ pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -315,6 +427,9 @@ pub fn render_json(diags: &[Diagnostic], file: &str, src: &str) -> String {
         if let Some(n) = d.node {
             let _ = write!(out, ",\"node\":{}", n.index());
         }
+        if let Some(item) = d.item {
+            let _ = write!(out, ",\"item\":{item}");
+        }
         let _ = write!(out, ",\"notes\":[");
         for (j, note) in d.notes.iter().enumerate() {
             if j > 0 {
@@ -322,7 +437,30 @@ pub fn render_json(diags: &[Diagnostic], file: &str, src: &str) -> String {
             }
             let _ = write!(out, "\"{}\"", json_escape(note));
         }
-        out.push_str("]}");
+        out.push(']');
+        if !d.related.is_empty() {
+            let _ = write!(out, ",\"related\":[");
+            for (j, r) in d.related.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"message\":\"{}\"", json_escape(&r.message));
+                if let Some(span) = r.span {
+                    let (line, col) = span.start_line_col(src);
+                    let _ = write!(
+                        out,
+                        ",\"span\":{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+                        span.start, span.end
+                    );
+                }
+                if let Some(n) = r.node {
+                    let _ = write!(out, ",\"node\":{}", n.index());
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("\n]\n");
     out

@@ -4,13 +4,17 @@
 //! The driver is what the CLI binary wraps; it is equally usable as a
 //! library (see `examples/lint_report.rs` at the workspace root).
 
+use crate::audit::{audit_placement, audit_plan, AuditOptions};
 use crate::comm_lint::{lint_plan, CommLintOptions};
 use crate::diag::{attach_spans, Diagnostic, Severity};
 use crate::invariants::lint_graph;
 use crate::placement::{lint_placement, PlacementLintOptions};
+use crate::provenance::{chain_trail, why_not_trail};
 use gnt_cfg::{node_spans, reversed_graph, DotOverlay};
 use gnt_comm::{analyze, generate, CommConfig, CommPlan};
-use gnt_core::{check_balance, check_sufficiency, shift_off_synthetic, SolverOptions};
+use gnt_core::{
+    check_balance, check_sufficiency, shift_off_synthetic, BlameEngine, Flavor, SolverOptions, Var,
+};
 use gnt_ir::{Program, StmtKind};
 use std::fmt;
 
@@ -34,6 +38,8 @@ pub enum OutputFormat {
     Text,
     /// Machine-readable JSON array.
     Json,
+    /// SARIF 2.1.0 log (blame trails as `relatedLocations`).
+    Sarif,
 }
 
 /// Options controlling a lint run.
@@ -150,6 +156,32 @@ pub fn detect_distributed(program: &Program) -> Vec<String> {
     names
 }
 
+/// Attaches a blame trail to a node-and-item-carrying diagnostic: a
+/// `because:` chain when the item is available at the finding's node
+/// (`GIVEN_in`), a `blocked by:` chain when it is not. Findings that
+/// already carry a trail (the audits) are left alone.
+fn enrich(d: &mut Diagnostic, engine: &BlameEngine<'_>, item_names: &[String]) {
+    if !d.related.is_empty() {
+        return;
+    }
+    let (Some(node), Some(item)) = (d.node, d.item) else {
+        return;
+    };
+    if node.index() >= engine.graph().num_nodes() {
+        return;
+    }
+    let name = item_names
+        .get(item)
+        .cloned()
+        .unwrap_or_else(|| format!("item {item}"));
+    let var = Var::GivenIn(Flavor::Eager);
+    if let Some(chain) = engine.why(var, node, item) {
+        d.related.extend(chain_trail(&chain, &name));
+    } else if let Some(wn) = engine.why_not(var, node, item) {
+        d.related.extend(why_not_trail(&wn, &name));
+    }
+}
+
 /// Lints `program` end to end and returns every finding with source
 /// spans attached (when the program was parsed).
 ///
@@ -190,6 +222,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     // Layer 2: placement criteria of the READ (BEFORE) problem, linted
     // on the same shifted solution the plan was emitted from. The READ
     // and WRITE solves below share one scratch arena.
+    let solver_opts = SolverOptions::default();
     let mut scratch = gnt_core::SolverScratch::new();
     if opts.select != ProblemSelect::After {
         let mut sol = gnt_core::solve_with_scratch(
@@ -205,13 +238,33 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
             item_names: item_names.clone(),
             ..Default::default()
         };
-        diagnostics.extend(lint_placement(
+        let mut found = lint_placement(
             graph,
             &plan.analysis.read_problem,
             &sol.eager,
             &sol.lazy,
             &popts,
+        );
+        // Audits: silent on the solver's own placement by construction,
+        // but the pass is wired so library callers auditing hand-made
+        // placements share one pipeline with the CLI.
+        found.extend(audit_placement(
+            graph,
+            &plan.analysis.read_problem,
+            &sol.eager,
+            &sol.lazy,
+            &AuditOptions {
+                item_names: item_names.clone(),
+                ..Default::default()
+            },
         ));
+        // Blame enrichment: the scratch still holds the full READ solve
+        // (this must precede the WRITE solve, which reuses the arena).
+        let engine = BlameEngine::new(graph, &plan.analysis.read_problem, &solver_opts, &scratch);
+        for d in &mut found {
+            enrich(d, &engine, &item_names);
+        }
+        diagnostics.extend(found);
     }
 
     // The WRITE (AFTER) problem is solved on the reversed graph; check
@@ -226,6 +279,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
             Ok(after) => {
                 let mut problem = plan.analysis.write_problem.clone();
                 problem.resize_nodes(after.reversed.num_nodes());
+                let mut found = Vec::new();
                 for v in check_sufficiency(&after.reversed, &problem, &after.solution.eager, true)
                     .into_iter()
                     .chain(check_balance(
@@ -235,8 +289,18 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
                         &after.solution.lazy,
                     ))
                 {
-                    diagnostics.push(crate::placement::violation_to_diag(&v, &item_names));
+                    found.push(crate::placement::violation_to_diag(&v, &item_names));
                 }
+                if !found.is_empty() {
+                    // The scratch now holds the WRITE solve (reversed
+                    // orientation) — blame the findings against it.
+                    let engine =
+                        BlameEngine::new(&after.reversed, &problem, &solver_opts, &scratch);
+                    for d in &mut found {
+                        enrich(d, &engine, &item_names);
+                    }
+                }
+                diagnostics.extend(found);
             }
             Err(e) => diagnostics.push(
                 Diagnostic::error("GNT010", format!("the WRITE problem cannot be solved: {e}"))
@@ -254,6 +318,8 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
         ..Default::default()
     };
     diagnostics.extend(lint_plan(&plan, &copts));
+    // GNT030: mergeable same-slot transfers (message aggregation, §6).
+    diagnostics.extend(audit_plan(&plan, &item_names));
 
     let spans = node_spans(program, graph);
     attach_spans(&mut diagnostics, &spans);

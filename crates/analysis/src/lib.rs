@@ -60,14 +60,23 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod audit;
 pub mod comm_lint;
 pub mod diag;
 pub mod driver;
 pub mod invariants;
 pub mod placement;
+pub mod provenance;
+pub mod sarif;
 
+pub use audit::{audit_placement, audit_plan, AuditOptions};
 pub use comm_lint::{lint_plan, CommLintOptions};
-pub use diag::{attach_spans, explain, render_json, render_text, Diagnostic, Severity, REGISTRY};
+pub use diag::{
+    attach_spans, explain, render_json, render_text, CodeFamily, Diagnostic, RelatedInfo, Severity,
+    REGISTRY,
+};
 pub use driver::{lint_program, lint_source, LintError, LintOptions, LintReport};
 pub use invariants::lint_graph;
 pub use placement::{lint_placement, PlacementLintOptions};
+pub use provenance::{render_chain, render_why_not, run_query, QuerySpec};
+pub use sarif::render_sarif;

@@ -83,7 +83,8 @@ pub fn violation_to_diag(v: &Violation, item_names: &[String]) -> Diagnostic {
                 name(item)
             ),
         )
-        .at(node),
+        .at(node)
+        .for_item(item),
         Violation::Unbalanced { node, item } => Diagnostic::error(
             "GNT002",
             format!(
@@ -91,7 +92,8 @@ pub fn violation_to_diag(v: &Violation, item_names: &[String]) -> Diagnostic {
                 name(item)
             ),
         )
-        .at(node),
+        .at(node)
+        .for_item(item),
         Violation::Unsafe { node, item } => Diagnostic::error(
             "GNT003",
             format!(
@@ -99,7 +101,8 @@ pub fn violation_to_diag(v: &Violation, item_names: &[String]) -> Diagnostic {
                 name(item)
             ),
         )
-        .at(node),
+        .at(node)
+        .for_item(item),
         Violation::Redundant { node, item } => Diagnostic::warning(
             "GNT004",
             format!(
@@ -107,7 +110,8 @@ pub fn violation_to_diag(v: &Violation, item_names: &[String]) -> Diagnostic {
                 name(item)
             ),
         )
-        .at(node),
+        .at(node)
+        .for_item(item),
     }
 }
 
@@ -158,7 +162,7 @@ pub fn lint_placement(
     let mut push = |out: &mut Vec<Diagnostic>, d: Diagnostic, item: usize| {
         let key = (d.code, d.node.map(|n| n.index()), item);
         if seen.insert(key) {
-            out.push(d);
+            out.push(d.for_item(item));
         }
     };
 

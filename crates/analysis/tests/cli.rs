@@ -156,3 +156,84 @@ fn dot_overlay_is_written() {
         "overlay marks findings: {dot_src}"
     );
 }
+
+#[test]
+fn why_query_prints_a_validated_chain() {
+    let file = write_fixture("fig1_why.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--why", "0:x(a(1:N))"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(
+        stdout.contains("why RES_in^eager(n0) contains"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("root:"), "stdout: {stdout}");
+    assert!(stdout.contains("Eq."), "stdout: {stdout}");
+}
+
+#[test]
+fn why_not_query_explains_an_absence() {
+    let src = "do i = 1, N\n  a(i) = ...\n  ... = x(a(i))\nenddo";
+    let file = write_fixture("why_not.minif", src);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--why-not", "2:a(1:N):res_in.lazy"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("does NOT contain"), "stdout: {stdout}");
+    assert!(stdout.contains("blocked by"), "stdout: {stdout}");
+}
+
+#[test]
+fn malformed_why_spec_exits_two() {
+    let file = write_fixture("fig1_why.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--why", "not-a-spec"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sarif_format_emits_a_valid_shell() {
+    let file = write_fixture("fig1_sarif.minif", FIG1);
+    let out = gnt_lint(&[file.to_str().unwrap(), "--zero-trip", "--format=sarif"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("\"version\":\"2.1.0\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"rules\":"), "stdout: {stdout}");
+    assert!(stdout.contains("GNT003"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"relatedLocations\":"),
+        "blame trail attached: {stdout}"
+    );
+}
+
+#[test]
+fn list_codes_groups_by_family() {
+    let out = gnt_lint(&["--list-codes"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for family in ["[correctness]", "[comm-safety]", "[optimality-audit]"] {
+        assert!(stdout.contains(family), "missing {family} in: {stdout}");
+    }
+    for code in ["GNT030", "GNT031", "GNT032"] {
+        assert!(stdout.contains(code), "missing {code} in: {stdout}");
+    }
+    // Audit codes are listed under their family header, after it.
+    let family_at = stdout.find("[optimality-audit]").unwrap();
+    let code_at = stdout.find("GNT030").unwrap();
+    assert!(
+        code_at > family_at,
+        "GNT030 listed before its header: {stdout}"
+    );
+}
+
+#[test]
+fn explain_prints_the_family() {
+    let out = gnt_lint(&["--explain", "GNT031"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stdout.contains("family: optimality-audit"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.to_lowercase().contains("latency"),
+        "stdout: {stdout}"
+    );
+}

@@ -1,0 +1,64 @@
+//! Registry completeness: every `GNT`-prefixed diagnostic code mentioned
+//! anywhere in this crate's sources has an [`explain`] entry, so
+//! `gnt-lint --explain CODE` can never come up empty for a code the tool
+//! itself emits or documents.
+
+use gnt_analyze::diag::explain;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Collects every `GNT` + 3-digit token in `text` (no regex crate in
+/// the tree — hand-rolled scan).
+fn collect_codes(text: &str, into: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(at) = text[i..].find("GNT") {
+        let start = i + at;
+        let digits = &bytes[start + 3..];
+        if digits.len() >= 3 && digits[..3].iter().all(u8::is_ascii_digit) {
+            // Exactly three digits: a fourth digit means it is not a code.
+            if digits.get(3).is_none_or(|b| !b.is_ascii_digit()) {
+                into.insert(text[start..start + 6].to_string());
+            }
+        }
+        i = start + 3;
+    }
+}
+
+fn walk(dir: &Path, into: &mut BTreeSet<String>) {
+    for entry in std::fs::read_dir(dir).expect("source tree readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            walk(&path, into);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            collect_codes(
+                &std::fs::read_to_string(&path).expect("source readable"),
+                into,
+            );
+        }
+    }
+}
+
+#[test]
+fn every_mentioned_code_has_an_explain_entry() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut codes = BTreeSet::new();
+    walk(&src, &mut codes);
+    assert!(
+        codes.len() >= 10,
+        "the scan should find the full registry, got {codes:?}"
+    );
+    // GNT999 is the deliberately-unregistered fixture of diag.rs's own
+    // negative test.
+    codes.remove("GNT999");
+    for code in &codes {
+        assert!(
+            explain(code).is_some(),
+            "{code} is mentioned in the sources but has no explain() entry"
+        );
+    }
+    // The optimality-audit family is registered.
+    for code in ["GNT030", "GNT031", "GNT032"] {
+        assert!(codes.contains(code), "{code} missing from the sources");
+    }
+}

@@ -2,6 +2,7 @@
 //! placement problems over random structured programs, and end to end
 //! through the `gnt-lint` driver pipeline.
 
+use gnt_analyze::audit::{audit_placement, AuditOptions};
 use gnt_analyze::driver::{lint_program, LintOptions};
 use gnt_analyze::placement::{lint_placement, PlacementLintOptions};
 use gnt_cfg::IntervalGraph;
@@ -36,6 +37,36 @@ proptest! {
             &PlacementLintOptions::default(),
         );
         prop_assert!(diags.is_empty(), "solver output flagged: {diags:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// 500 random programs: the GNT03x optimality auditors never fire on
+    /// the solver's own (shifted) output — the solver is already optimal,
+    /// so any audit finding would be a false positive.
+    #[test]
+    fn optimality_audits_are_silent_on_solver_output(
+        pseed in 20_000u64..30_000,
+        qseed in 0u64..5_000,
+        items in 1usize..4,
+        density in 0u32..100,
+    ) {
+        let program = random_program(pseed, &GenConfig::default());
+        let graph = IntervalGraph::from_program(&program).unwrap();
+        let problem = random_problem(qseed, &graph, items, f64::from(density) / 100.0);
+        let mut sol = solve(&graph, &problem, &SolverOptions::default());
+        shift_off_synthetic(&graph, &mut sol.eager);
+        shift_off_synthetic(&graph, &mut sol.lazy);
+        let diags = audit_placement(
+            &graph,
+            &problem,
+            &sol.eager,
+            &sol.lazy,
+            &AuditOptions::default(),
+        );
+        prop_assert!(diags.is_empty(), "audit flagged solver output: {diags:?}");
     }
 }
 

@@ -11,22 +11,52 @@
 //!   sequentially vs item-sharded, recording the thread count used.
 //!
 //! ```sh
-//! cargo run -p gnt-bench --release --bin bench_json [-- --smoke] [--json path]
+//! cargo run -p gnt-bench --release --bin bench_json \
+//!     [-- --smoke] [--json path] [--check baseline.json] [--tolerance PCT]
 //! ```
 //!
 //! `--smoke` shrinks the sizes for CI; the default output path is
-//! `BENCH_solver.json` in the current directory.
+//! `BENCH_solver.json` in the current directory. With `--check`, every
+//! new record matching a baseline record on (bench, nodes, threads) must
+//! be within `--tolerance` percent (default 30) of the baseline's
+//! ns/node, or the process exits 1 — the CI perf gate. Smoke runs gate
+//! against the committed `BENCH_solver_smoke.json` (smoke medians use
+//! fewer runs and smaller sizes, so full-run baselines would not
+//! compare); records with no baseline match are ignored.
 
-use gnt_bench::{json_flag_from_args, median_ns, write_records_json, BenchRecord};
+use gnt_bench::{
+    check_against_baseline, json_flag_from_args, median_ns, read_records_json, write_records_json,
+    BenchRecord,
+};
 use gnt_cfg::IntervalGraph;
 use gnt_core::{
-    random_problem, sized_program, solve, solve_into, solve_par, SolverOptions, SolverScratch,
+    planned_shards, random_problem, sized_program, solve, solve_into, solve_par, SolverOptions,
+    SolverScratch,
 };
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+/// Value of `--flag <value>` in the process arguments, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value")),
+            );
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let path = json_flag_from_args().unwrap_or_else(|| PathBuf::from("BENCH_solver.json"));
+    let check = flag_value("--check").map(PathBuf::from);
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a percentage"))
+        .unwrap_or(30.0);
     let (sizes, runs): (&[usize], usize) = if smoke {
         (&[100, 400], 3)
     } else {
@@ -73,9 +103,8 @@ fn main() {
         ns_per_node: ns / nodes as f64,
         threads: 1,
     });
-    let shards = 4;
     let par_opts = SolverOptions {
-        parallelism: shards,
+        parallelism: 4,
         ..Default::default()
     };
     let ns = median_ns(runs, || solve_par(&graph, &problem, &par_opts));
@@ -83,7 +112,11 @@ fn main() {
         bench: "solve_par/256items".to_string(),
         nodes,
         ns_per_node: ns / nodes as f64,
-        threads: shards,
+        // Shards the planner actually grants, not the request: at 256
+        // items (4 words) the planner refuses to starve threads and runs
+        // sequentially — recording the request here is what hid the
+        // 1936.9-vs-1077.6 ns/node regression this planner fix removed.
+        threads: planned_shards(&par_opts, problem.universe_size),
     });
 
     for r in &records {
@@ -94,4 +127,20 @@ fn main() {
     }
     write_records_json(&path, &records).expect("write json");
     println!("wrote {} records to {}", records.len(), path.display());
+
+    if let Some(baseline_path) = check {
+        let baseline = read_records_json(&baseline_path).expect("read baseline");
+        let failures = check_against_baseline(&records, &baseline, tolerance);
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        if !failures.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf gate passed against {} (\u{b1}{tolerance}%)",
+            baseline_path.display()
+        );
+    }
+    ExitCode::SUCCESS
 }

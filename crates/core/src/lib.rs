@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod after;
+mod blame;
 mod generator;
 mod pressure;
 mod problem;
@@ -67,6 +68,9 @@ mod solver;
 mod verify;
 
 pub use after::{solve_after, solve_after_with_scratch, AfterSolution};
+pub use blame::{
+    check_chain, Absence, BlameChain, BlameEngine, BlameStep, Reason, Root, Var, WhyNot, WhyNotStep,
+};
 pub use generator::{random_problem, random_program, sized_program, GenConfig};
 pub use pressure::{
     measure_pressure, solve_with_pressure_limit, solve_with_pressure_limit_in_place, PressureReport,
@@ -75,7 +79,8 @@ pub use problem::{Direction, Flavor, PlacementProblem, SolverOptions};
 pub use scratch::SolverScratch;
 pub use shift::{shift_off_synthetic, ShiftReport};
 pub use solver::{
-    solve, solve_into, solve_par, solve_with_scratch, ConsumptionVars, FlavorSolution, Solution,
+    planned_shards, solve, solve_into, solve_par, solve_with_scratch, ConsumptionVars,
+    FlavorSolution, Solution,
 };
 pub use verify::{
     check_balance, check_path, check_sufficiency, enumerate_paths, path_has_zero_trip, Path,

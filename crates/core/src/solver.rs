@@ -141,6 +141,18 @@ const WORD_BITS: usize = 64;
 /// dominate and the sequential arena path wins.
 const AUTO_WORDS_PER_SHARD: usize = 16;
 
+/// Words-per-shard floor for *forced* parallelism ([`solve_par`], or an
+/// explicit `parallelism ≥ 2`). Shards below this width do too little
+/// kernel work to amortise their thread spawn and stitch: the committed
+/// BENCH_solver.json once recorded `solve_par` at 256 items / 4 threads
+/// (4 shards × 1 word) running 1.8× *slower* than sequential
+/// (1936.9 vs 1077.6 ns/node at 9605 nodes). With an 8-word floor that
+/// configuration falls back to the sequential path and forced parallelism
+/// can never lose to it; the floor is half [`AUTO_WORDS_PER_SHARD`]
+/// because an explicit request tolerates a smaller win margin than the
+/// automatic heuristic should.
+const MIN_WORDS_PER_SHARD: usize = 8;
+
 /// A word window of the item universe: one shard solves columns
 /// `[64·word0, 64·word0 + bits)` of every variable.
 #[derive(Clone, Copy, Debug)]
@@ -164,20 +176,35 @@ fn threads_available() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// How many word shards to use. `force` is the [`solve_par`] entry: shard
-/// whenever the universe has ≥ 2 words; [`solve`] in auto mode applies the
-/// [`AUTO_WORDS_PER_SHARD`] threshold instead.
+/// How many word shards to use. `force` is the [`solve_par`] entry; the
+/// pure planning rule lives in [`plan_shards`].
 fn shard_count(opts: &SolverOptions, words: usize, force: bool) -> usize {
     let requested = match opts.parallelism {
         0 => threads_available(),
         p => p,
     };
-    let cap = if force || opts.parallelism >= 2 {
-        words
+    plan_shards(requested, words, force || opts.parallelism >= 2)
+}
+
+/// The shard planner: how many word-aligned shards `requested` threads
+/// get over a `words`-wide universe. Forced parallelism applies the
+/// [`MIN_WORDS_PER_SHARD`] floor, auto mode the stricter
+/// [`AUTO_WORDS_PER_SHARD`] threshold; either way a plan of `1` means the
+/// sequential path runs.
+fn plan_shards(requested: usize, words: usize, force: bool) -> usize {
+    let per_shard = if force {
+        MIN_WORDS_PER_SHARD
     } else {
-        words / AUTO_WORDS_PER_SHARD
+        AUTO_WORDS_PER_SHARD
     };
-    requested.min(cap).max(1)
+    requested.min(words / per_shard).max(1)
+}
+
+/// The number of shards [`solve_par`] would actually run for this options
+/// and universe size — `1` means it falls back to the sequential path.
+/// Benchmarks and tests use this to report or pin the planner's decision.
+pub fn planned_shards(opts: &SolverOptions, universe_size: usize) -> usize {
+    shard_count(opts, universe_size.div_ceil(WORD_BITS), true)
 }
 
 /// Solves a BEFORE problem over `graph`.
@@ -276,10 +303,11 @@ pub fn solve_with_scratch(
 /// data-independent, the result is **bit-identical** to the sequential
 /// [`solve`] (the differential proptests lock this). The shard count
 /// comes from [`SolverOptions::parallelism`] (`0` = one shard per
-/// available core) clamped to the universe word count; universes smaller
-/// than two words (≤ 64 items) always fall back to the sequential path —
-/// word granularity is what makes sharding exact, so it is also the
-/// finest split.
+/// available core) clamped so that every shard covers at least
+/// [`MIN_WORDS_PER_SHARD`] words of the universe; universes too narrow to
+/// give each thread that much kernel work (≤ 1023 items for two shards)
+/// fall back to the sequential path, which is faster there — see
+/// [`planned_shards`] for the decision.
 ///
 /// # Panics
 ///
@@ -904,15 +932,55 @@ mod tests {
             prob.steal(killer, item);
         }
         let seq = solve(&g, &prob, &SolverOptions::default());
-        for shards in [2usize, 3, 4, 5, 8] {
+        // The sharded data plane itself, at every legal split of the
+        // 5-word universe (the planner would refuse these narrow shards,
+        // so call it directly to keep the stitching covered).
+        for shards in [2usize, 3, 4, 5] {
+            assert_eq!(
+                seq,
+                solve_sharded(&g, &prob, &SolverOptions::default(), shards),
+                "shards = {shards}"
+            );
+        }
+        // Through the public dispatch the planner falls back to the
+        // sequential path on a universe this narrow — still identical.
+        for requested in [2usize, 4, 8] {
             let opts = SolverOptions {
-                parallelism: shards,
+                parallelism: requested,
                 ..Default::default()
             };
-            assert_eq!(seq, solve_par(&g, &prob, &opts), "shards = {shards}");
-            // And through the `solve` dispatch too.
-            assert_eq!(seq, solve(&g, &prob, &opts), "solve, shards = {shards}");
+            assert_eq!(seq, solve_par(&g, &prob, &opts), "requested = {requested}");
+            assert_eq!(
+                seq,
+                solve(&g, &prob, &opts),
+                "solve, requested = {requested}"
+            );
         }
+    }
+
+    #[test]
+    fn shard_planner_never_starves_a_thread() {
+        // The decision behind MIN_WORDS_PER_SHARD, pinned: the committed
+        // benchmark once showed solve_par at 256 items (4 words) / 4
+        // threads running 1.8× slower than sequential because each shard
+        // got a single word. Forced parallelism must fall back to the
+        // sequential path until every shard clears the floor.
+        assert_eq!(plan_shards(4, 4, true), 1, "the regression shape");
+        assert_eq!(plan_shards(4, 15, true), 1);
+        assert_eq!(plan_shards(4, 16, true), 2);
+        assert_eq!(plan_shards(4, 64, true), 4);
+        assert_eq!(plan_shards(2, 64, true), 2, "request stays a cap");
+        // Auto mode keeps its stricter threshold.
+        assert_eq!(plan_shards(4, 31, false), 1);
+        assert_eq!(plan_shards(4, 32, false), 2);
+        assert_eq!(plan_shards(8, 1024, false), 8);
+        // And the public probe agrees (256 items = 4 words).
+        let opts = SolverOptions {
+            parallelism: 4,
+            ..Default::default()
+        };
+        assert_eq!(planned_shards(&opts, 256), 1);
+        assert_eq!(planned_shards(&opts, 4096), 4);
     }
 
     #[test]

@@ -49,6 +49,47 @@ impl Range {
         }
     }
 
+    /// `Some(true)` if the union of the two ranges is provably one
+    /// contiguous range — they overlap or touch end-to-end (`1:5` and
+    /// `6:N+5`), so a single transfer of the [`Range::hull`] carries
+    /// both. `Some(false)` if there is provably a gap between them,
+    /// `None` if unknown. Assumes both ranges are non-empty (`lo ≤ hi`),
+    /// as references extracted from code are.
+    pub fn mergeable(&self, other: &Range) -> Option<bool> {
+        // Order the ranges by lo; the union is contiguous iff the later
+        // one starts no further than one past the earlier one's end.
+        let (first, second) = if self.lo.le(&other.lo)? {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        second.lo.le(&(first.hi.clone() + Affine::constant(1)))
+    }
+
+    /// The convex hull `min(lo):max(hi)`, when the bounds can be ordered.
+    /// Assumes both ranges are non-empty (`lo ≤ hi`).
+    pub fn hull(&self, other: &Range) -> Option<Range> {
+        let (first, second) = if self.lo.le(&other.lo)? {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let hi = match first.hi.le(&second.hi) {
+            Some(true) => second.hi.clone(),
+            Some(false) => first.hi.clone(),
+            // `first` stops before `second` starts: a non-empty `second`
+            // then provably ends last.
+            None if (first.hi.clone() + Affine::constant(1)).le(&second.lo) == Some(true) => {
+                second.hi.clone()
+            }
+            None => return None,
+        };
+        Some(Range {
+            lo: first.lo.clone(),
+            hi,
+        })
+    }
+
     /// `Some(true)` if `self` provably contains `other`.
     pub fn contains(&self, other: &Range) -> Option<bool> {
         match (self.lo.le(&other.lo), other.hi.le(&self.hi)) {
@@ -139,6 +180,34 @@ impl DataRef {
                 a.contains(b) == Some(true)
             }
             _ => false,
+        }
+    }
+
+    /// A single reference provably carrying everything the two references
+    /// touch, when one exists: two sections of the same array whose ranges
+    /// overlap or touch merge into their hull (`x(1:k)` + `x(k+1:N)` →
+    /// `x(1:N)`), and a whole-array reference absorbs anything of its
+    /// array. `None` when the pair cannot be proven contiguous — the
+    /// GNT030 coalescing audit only reports merges this returns.
+    pub fn coalesce(&self, other: &DataRef) -> Option<DataRef> {
+        if self.array() != other.array() {
+            return None;
+        }
+        match (self, other) {
+            (DataRef::Whole { array }, _) | (_, DataRef::Whole { array }) => Some(DataRef::Whole {
+                array: array.clone(),
+            }),
+            (DataRef::Section { array, range: a }, DataRef::Section { range: b, .. }) => {
+                if a.mergeable(b) == Some(true) {
+                    Some(DataRef::Section {
+                        array: array.clone(),
+                        range: a.hull(b)?,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 
@@ -260,6 +329,74 @@ mod tests {
         };
         assert!(g.depends_on_index_array("a"));
         assert!(!g.depends_on_index_array("x"));
+    }
+
+    #[test]
+    fn adjacent_sections_coalesce_into_the_hull() {
+        // x(1:k) + x(k+1:N) → x(1:N) is not provable (k vs N unordered),
+        // but x(1:5) + x(6:N+5) → x(1:N+5) is: constant lows, and
+        // 5 ≤ N+5 when symbols are nonnegative… the bounds compare.
+        let a = sec("x", Affine::constant(1), Affine::constant(5));
+        let b = sec(
+            "x",
+            Affine::constant(6),
+            Affine::var("N") + Affine::constant(5),
+        );
+        let merged = a.coalesce(&b).expect("adjacent sections merge");
+        assert_eq!(merged.to_string(), "x(1:N+5)");
+        // Symmetric.
+        assert_eq!(b.coalesce(&a), Some(merged));
+    }
+
+    #[test]
+    fn gapped_and_foreign_sections_do_not_coalesce() {
+        let a = sec("x", Affine::constant(1), Affine::constant(5));
+        let gap = sec("x", Affine::constant(7), Affine::constant(9));
+        assert_eq!(a.coalesce(&gap), None);
+        let other = sec("y", Affine::constant(6), Affine::constant(9));
+        assert_eq!(a.coalesce(&other), None);
+        // Unprovable adjacency stays unmerged.
+        let sym = sec("x", Affine::var("K"), Affine::var("N"));
+        assert_eq!(a.coalesce(&sym), None);
+    }
+
+    #[test]
+    fn whole_array_absorbs_sections_and_gathers() {
+        let w = DataRef::Whole { array: "x".into() };
+        let s = sec("x", Affine::constant(1), Affine::var("N"));
+        let g = DataRef::Gather {
+            array: "x".into(),
+            index: Box::new(sec("a", Affine::constant(1), Affine::var("N"))),
+        };
+        assert_eq!(s.coalesce(&w), Some(w.clone()));
+        assert_eq!(w.coalesce(&g), Some(w.clone()));
+        // Two gathers have no common contiguous carrier.
+        assert_eq!(g.coalesce(&g.clone()), None);
+    }
+
+    #[test]
+    fn overlapping_ranges_are_mergeable() {
+        let a = Range {
+            lo: Affine::constant(1),
+            hi: Affine::constant(10),
+        };
+        let b = Range {
+            lo: Affine::constant(5),
+            hi: Affine::constant(20),
+        };
+        assert_eq!(a.mergeable(&b), Some(true));
+        assert_eq!(
+            a.hull(&b),
+            Some(Range {
+                lo: Affine::constant(1),
+                hi: Affine::constant(20),
+            })
+        );
+        let far = Range {
+            lo: Affine::constant(12),
+            hi: Affine::constant(20),
+        };
+        assert_eq!(a.mergeable(&far), Some(false));
     }
 
     #[test]
