@@ -225,7 +225,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     let solver_opts = SolverOptions::default();
     let mut scratch = gnt_core::SolverScratch::new();
     if opts.select != ProblemSelect::After {
-        let mut sol = gnt_core::solve_with_scratch(
+        let mut sol = gnt_core::solve_batch_with_scratch(
             graph,
             &plan.analysis.read_problem,
             &SolverOptions::default(),

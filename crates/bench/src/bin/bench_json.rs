@@ -7,8 +7,12 @@
 //!   universe 16, sequential) at several program sizes;
 //! * `solve_into/16items` — the zero-allocation scratch-reuse path at the
 //!   same sizes;
-//! * `solve/256items` and `solve_par/256items` — a 4-word universe solved
-//!   sequentially vs item-sharded, recording the thread count used.
+//! * `solve_batch/16items` — the schedule-tape replay
+//!   ([`gnt_core::solve_batch`], cached tape + reused output buffer) at
+//!   the same sizes;
+//! * `solve/256items`, `solve_par/256items`, and `solve_batch/256items` —
+//!   a 4-word universe solved interpreted-sequentially, item-sharded, and
+//!   by cached-tape replay (the EXP-C2 protocol).
 //!
 //! ```sh
 //! cargo run -p gnt-bench --release --bin bench_json \
@@ -17,7 +21,7 @@
 //!
 //! `--smoke` shrinks the sizes for CI; the default output path is
 //! `BENCH_solver.json` in the current directory. With `--check`, every
-//! new record matching a baseline record on (bench, nodes, threads) must
+//! new record matching a baseline record on (bench, nodes, items) must
 //! be within `--tolerance` percent (default 30) of the baseline's
 //! ns/node, or the process exits 1 — the CI perf gate. Smoke runs gate
 //! against the committed `BENCH_solver_smoke.json` (smoke medians use
@@ -30,8 +34,8 @@ use gnt_bench::{
 };
 use gnt_cfg::IntervalGraph;
 use gnt_core::{
-    planned_shards, random_problem, sized_program, solve, solve_into, solve_par, SolverOptions,
-    SolverScratch,
+    planned_shards, random_problem, sized_program, solve, solve_batch, solve_into, solve_par,
+    Solution, SolverOptions, SolverScratch,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -75,6 +79,7 @@ fn main() -> ExitCode {
         records.push(BenchRecord {
             bench: "solve/16items".to_string(),
             nodes,
+            items: 16,
             ns_per_node: ns / nodes as f64,
             threads: 1,
         });
@@ -84,6 +89,23 @@ fn main() -> ExitCode {
         records.push(BenchRecord {
             bench: "solve_into/16items".to_string(),
             nodes,
+            items: 16,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+
+        // The schedule-tape replay: compile once (the warm-up call inside
+        // median_ns), then every timed call replays the cached tape into
+        // the reused output buffer.
+        let mut scratch = SolverScratch::new();
+        let mut out = Solution::default();
+        let ns = median_ns(runs, || {
+            solve_batch(&graph, &problem, &opts, &mut scratch, &mut out);
+        });
+        records.push(BenchRecord {
+            bench: "solve_batch/16items".to_string(),
+            nodes,
+            items: 16,
             ns_per_node: ns / nodes as f64,
             threads: 1,
         });
@@ -100,7 +122,22 @@ fn main() -> ExitCode {
     records.push(BenchRecord {
         bench: "solve/256items".to_string(),
         nodes,
+        items: 256,
         ns_per_node: ns / nodes as f64,
+        threads: 1,
+    });
+    let mut scratch = SolverScratch::new();
+    let mut out = Solution::default();
+    let ns = median_ns(runs, || {
+        solve_batch(&graph, &problem, &seq_opts, &mut scratch, &mut out);
+    });
+    records.push(BenchRecord {
+        bench: "solve_batch/256items".to_string(),
+        nodes,
+        items: 256,
+        ns_per_node: ns / nodes as f64,
+        // Auto shard policy: a 4-word universe is far below the sharding
+        // threshold, so the cached tape replays sequentially.
         threads: 1,
     });
     let par_opts = SolverOptions {
@@ -111,6 +148,7 @@ fn main() -> ExitCode {
     records.push(BenchRecord {
         bench: "solve_par/256items".to_string(),
         nodes,
+        items: 256,
         ns_per_node: ns / nodes as f64,
         // Shards the planner actually grants, not the request: at 256
         // items (4 words) the planner refuses to starve threads and runs

@@ -38,6 +38,7 @@ fn main() {
         records.push(BenchRecord {
             bench: "scaling".to_string(),
             nodes: graph.num_nodes(),
+            items: 16,
             ns_per_node,
             threads: 1,
         });

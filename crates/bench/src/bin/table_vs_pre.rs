@@ -107,6 +107,7 @@ fn main() {
             .map(|(name, i)| BenchRecord {
                 bench: name.to_string(),
                 nodes: nodes_total,
+                items: 4,
                 ns_per_node: times[i] * 1e9 / nodes_total as f64,
                 threads: 1,
             })

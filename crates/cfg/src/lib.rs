@@ -45,7 +45,7 @@ pub use dom::{
 };
 pub use dot::{to_dot, DotOverlay};
 pub use graph::{Cfg, NodeId, NodeKind, SynthKind};
-pub use interval::{EdgeClass, EdgeMask, GraphError, IntervalGraph};
+pub use interval::{EdgeClass, EdgeMask, GraphError, IntervalGraph, NeighborTable};
 pub use reverse::reversed_graph;
 
 /// Maps every node of `graph` to the source span of the statement it was

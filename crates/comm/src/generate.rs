@@ -9,7 +9,7 @@
 use crate::analyze::CommAnalysis;
 use gnt_cfg::{EdgeMask, IntervalGraph, NodeId};
 use gnt_core::{
-    shift_off_synthetic, solve_after_with_scratch, solve_with_scratch, Flavor, SolverOptions,
+    shift_off_synthetic, solve_after_with_scratch, solve_batch_with_scratch, Flavor, SolverOptions,
     SolverScratch,
 };
 use gnt_dataflow::ItemId;
@@ -166,7 +166,7 @@ pub fn generate_styled(
     // READ: BEFORE problem on the forward graph. One scratch arena backs
     // this solve and the WRITE solves below.
     let mut scratch = SolverScratch::new();
-    let mut read = solve_with_scratch(graph, &analysis.read_problem, &opts, &mut scratch);
+    let mut read = solve_batch_with_scratch(graph, &analysis.read_problem, &opts, &mut scratch);
 
     // Phase coupling: a *placed* READ operation re-communicates owner
     // data, so every pending write-back of an overlapping portion must

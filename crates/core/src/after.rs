@@ -13,8 +13,9 @@
 //! after* the consumer (e.g. `WRITE_Recv`) and the LAZY solution the one
 //! *immediately after* it (e.g. `WRITE_Send`).
 
-use crate::problem::{Flavor, PlacementProblem, SolverOptions};
-use crate::solver::{solve_with_scratch, Solution};
+use crate::problem::{Direction, Flavor, PlacementProblem, SolverOptions};
+use crate::solver::Solution;
+use crate::tape::solve_batch_with_scratch_dir;
 use gnt_cfg::{reversed_graph, GraphError, IntervalGraph, NodeId};
 use gnt_dataflow::BitSet;
 
@@ -108,7 +109,11 @@ pub fn solve_after_with_scratch(
     // and the jump path gets its own balanced production at the landing
     // pad. This is sound whenever consumption on the jump path occurs
     // before the back edge; the independent verifiers decide.
-    let solution = solve_with_scratch(&reversed, &p, opts, scratch);
+    // Both this solve and the poisoned fallback (and any later AFTER
+    // solves through the same scratch) replay the scratch-cached schedule
+    // tape for the reversed graph's AFTER slot; poisoning changes the
+    // structural fingerprint, so the fallback recompiles exactly once.
+    let solution = solve_batch_with_scratch_dir(Direction::After, &reversed, &p, opts, scratch);
     let jump_entered: Vec<_> = reversed
         .nodes()
         .filter(|&h| !reversed.jump_in_sources(h).is_empty())
@@ -127,7 +132,8 @@ pub fn solve_after_with_scratch(
             for h in jump_entered {
                 reversed.poison(h);
             }
-            let solution = solve_with_scratch(&reversed, &p, opts, scratch);
+            let solution =
+                solve_batch_with_scratch_dir(Direction::After, &reversed, &p, opts, scratch);
             return Ok(AfterSolution { reversed, solution });
         }
     }

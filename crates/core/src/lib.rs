@@ -65,6 +65,7 @@ mod problem;
 mod scratch;
 mod shift;
 mod solver;
+mod tape;
 mod verify;
 
 pub use after::{solve_after, solve_after_with_scratch, AfterSolution};
@@ -82,6 +83,7 @@ pub use solver::{
     planned_shards, solve, solve_into, solve_par, solve_with_scratch, ConsumptionVars,
     FlavorSolution, Solution,
 };
+pub use tape::{solve_batch, solve_batch_into, solve_batch_with_scratch, ScheduleTape, TapeOp};
 pub use verify::{
     check_balance, check_path, check_sufficiency, enumerate_paths, path_has_zero_trip, Path,
     Violation,

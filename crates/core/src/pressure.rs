@@ -22,7 +22,8 @@
 
 use crate::problem::{PlacementProblem, SolverOptions};
 use crate::scratch::SolverScratch;
-use crate::solver::{solve_into, Solution};
+use crate::solver::Solution;
+use crate::tape::solve_batch_into;
 use gnt_cfg::{IntervalGraph, NodeId};
 
 /// The in-flight item count at each node's entry for `solution`:
@@ -97,7 +98,10 @@ pub fn solve_with_pressure_limit_in_place(
     max_rounds: usize,
     scratch: &mut SolverScratch,
 ) -> (Solution, PressureReport) {
-    solve_into(graph, problem, opts, scratch);
+    // Every round replays the scratch-cached schedule tape: inserted
+    // steals only change the *loaded* `STEAL_init` data, never the
+    // compiled op sequence, so the tape compiles once for the whole loop.
+    solve_batch_into(graph, problem, opts, scratch);
     let pressure_max = |s: &SolverScratch| {
         graph
             .nodes()
@@ -137,7 +141,7 @@ pub fn solve_with_pressure_limit_in_place(
                 report.steals_inserted += 1;
             }
         }
-        solve_into(graph, problem, opts, scratch);
+        solve_batch_into(graph, problem, opts, scratch);
         report.final_max = pressure_max(scratch);
     }
     let solution = scratch.export();

@@ -80,6 +80,10 @@ pub struct SolverScratch {
     pub(crate) slab: BitSlab,
     nodes: usize,
     bits: usize,
+    /// Compiled schedule tapes, one slot per [`crate::Direction`], reused
+    /// by the `solve_batch*` entry points as long as the graph shape and
+    /// hoisting options fingerprint the same (see [`crate::ScheduleTape`]).
+    pub(crate) tapes: crate::tape::TapeCache,
 }
 
 impl Default for SolverScratch {
@@ -95,6 +99,7 @@ impl SolverScratch {
             slab: BitSlab::new(0, 0),
             nodes: 0,
             bits: 0,
+            tapes: crate::tape::TapeCache::default(),
         }
     }
 

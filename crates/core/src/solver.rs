@@ -132,6 +132,58 @@ impl Solution {
             lazy: fs(),
         }
     }
+
+    /// Re-shapes `self` for `n` nodes × `cap` items *without zeroing* rows
+    /// whose capacity already matches: callers guarantee every word of
+    /// every row is about to be overwritten (shard windows partition the
+    /// universe), so stale contents never survive. This is the reuse fast
+    /// path of [`crate::solve_batch`] — a warm output buffer costs no
+    /// allocation and no clearing.
+    pub(crate) fn reshape_for_overwrite(&mut self, n: usize, cap: usize) {
+        let shape = |sets: &mut Vec<BitSet>| {
+            sets.resize_with(n, || BitSet::new(cap));
+            for s in sets.iter_mut().filter(|s| s.capacity() != cap) {
+                s.reset(cap);
+            }
+        };
+        let ConsumptionVars {
+            steal,
+            give,
+            block,
+            taken_out,
+            take,
+            taken_in,
+            block_loc,
+            take_loc,
+            give_loc,
+            steal_loc,
+        } = &mut self.vars;
+        for sets in [
+            steal, give, block, taken_out, take, taken_in, block_loc, take_loc, give_loc, steal_loc,
+        ] {
+            shape(sets);
+        }
+        for fs in [&mut self.eager, &mut self.lazy] {
+            let FlavorSolution {
+                given_in,
+                given,
+                given_out,
+                res_in,
+                res_out,
+            } = fs;
+            for sets in [given_in, given, given_out, res_in, res_out] {
+                shape(sets);
+            }
+        }
+    }
+}
+
+impl Default for Solution {
+    /// An empty zero-node solution — the natural seed for the reusable
+    /// output buffer of [`crate::solve_batch`].
+    fn default() -> Solution {
+        Solution::empty(0, 0)
+    }
 }
 
 const WORD_BITS: usize = 64;
@@ -156,14 +208,14 @@ const MIN_WORDS_PER_SHARD: usize = 8;
 /// A word window of the item universe: one shard solves columns
 /// `[64·word0, 64·word0 + bits)` of every variable.
 #[derive(Clone, Copy, Debug)]
-struct Window {
-    word0: usize,
-    words: usize,
-    bits: usize,
+pub(crate) struct Window {
+    pub(crate) word0: usize,
+    pub(crate) words: usize,
+    pub(crate) bits: usize,
 }
 
 impl Window {
-    fn full(cap: usize) -> Window {
+    pub(crate) fn full(cap: usize) -> Window {
         Window {
             word0: 0,
             words: cap.div_ceil(WORD_BITS),
@@ -178,7 +230,7 @@ fn threads_available() -> usize {
 
 /// How many word shards to use. `force` is the [`solve_par`] entry; the
 /// pure planning rule lives in [`plan_shards`].
-fn shard_count(opts: &SolverOptions, words: usize, force: bool) -> usize {
+pub(crate) fn shard_count(opts: &SolverOptions, words: usize, force: bool) -> usize {
     let requested = match opts.parallelism {
         0 => threads_available(),
         p => p,
@@ -295,9 +347,14 @@ pub fn solve_with_scratch(
     scratch.export()
 }
 
-/// Item-sharded parallel solve: partitions the universe into word-aligned
-/// chunks and runs the full four-pass schedule per chunk on its own
-/// thread, then stitches the windows back together.
+/// Item-sharded parallel solve: compiles the schedule tape for `graph`
+/// ([`crate::ScheduleTape`]), partitions the universe into word-aligned
+/// chunks, replays the tape per chunk on its own thread, and stitches the
+/// windows back together. Sharding is thus a tape-execution *policy*; the
+/// per-shard work is the same compiled op sequence the sequential batched
+/// solver replays. Callers that solve repeatedly should prefer
+/// [`crate::solve_batch`], which additionally caches the tape and the
+/// output buffer across calls.
 ///
 /// Because every kernel is word-parallel and the schedule is
 /// data-independent, the result is **bit-identical** to the sequential
@@ -321,8 +378,15 @@ pub fn solve_par(
     let words = problem.universe_size.div_ceil(WORD_BITS);
     let shards = shard_count(opts, words, true);
     if shards > 1 {
-        solve_sharded(graph, problem, opts, shards)
+        // Compile once, replay per shard: the compile cost is amortised
+        // over `shards` windows of kernel work.
+        let tape = crate::tape::ScheduleTape::compile(graph, opts);
+        let mut out = Solution::empty(graph.num_nodes(), problem.universe_size);
+        crate::tape::execute_sharded(&tape, problem, shards, &mut out);
+        out
     } else {
+        // Universe too narrow to shard: a one-shot compile would cost
+        // more than it saves, so run the interpreter directly.
         let mut scratch = SolverScratch::new();
         solve_core(
             graph,
@@ -335,7 +399,7 @@ pub fn solve_par(
     }
 }
 
-fn check_coverage(graph: &IntervalGraph, problem: &PlacementProblem) {
+pub(crate) fn check_coverage(graph: &IntervalGraph, problem: &PlacementProblem) {
     assert_eq!(
         problem.num_nodes(),
         graph.num_nodes(),
@@ -343,16 +407,13 @@ fn check_coverage(graph: &IntervalGraph, problem: &PlacementProblem) {
     );
 }
 
-fn solve_sharded(
-    graph: &IntervalGraph,
-    problem: &PlacementProblem,
-    opts: &SolverOptions,
-    shards: usize,
-) -> Solution {
-    let cap = problem.universe_size;
+/// Partitions a `cap`-bit universe into `shards` word-aligned windows:
+/// an even word split where the first `total_words % shards` shards get
+/// one extra word. Shared by the interpreted sharded solve and the tape
+/// executor ([`crate::tape`]), so both stitch identical windows.
+pub(crate) fn windows_for(cap: usize, shards: usize) -> Vec<Window> {
     let total_words = cap.div_ceil(WORD_BITS);
     debug_assert!(shards >= 2 && shards <= total_words);
-    // Even word partition: the first `rem` shards get one extra word.
     let base = total_words / shards;
     let rem = total_words % shards;
     let mut windows = Vec::with_capacity(shards);
@@ -367,6 +428,17 @@ fn solve_sharded(
         windows.push(Window { word0, words, bits });
         word0 += words;
     }
+    windows
+}
+
+fn solve_sharded(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    opts: &SolverOptions,
+    shards: usize,
+) -> Solution {
+    let cap = problem.universe_size;
+    let windows = windows_for(cap, shards);
 
     let results: Vec<(SolverScratch, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = windows
@@ -393,7 +465,7 @@ fn solve_sharded(
 }
 
 #[inline]
-fn window_of<'a>(set: &'a BitSet, win: &Window) -> &'a [u64] {
+pub(crate) fn window_of<'a>(set: &'a BitSet, win: &Window) -> &'a [u64] {
     &set.words()[win.word0..win.word0 + win.words]
 }
 

@@ -211,6 +211,28 @@ impl BitSet {
         }
     }
 
+    /// Clears the set and re-shapes it for a (possibly different)
+    /// `capacity`, reusing storage wherever possible: a universe that now
+    /// fits one word is demoted from `Heap` back to `Inline` (dropping the
+    /// allocation), and a still-heap set resizes its existing vector in
+    /// place. This is the reuse fast path for re-solve loops and batched
+    /// output buffers, which re-shape the same sets round after round.
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        let words = capacity.div_ceil(WORD_BITS);
+        if capacity <= WORD_BITS {
+            self.repr = Repr::Inline(0);
+        } else {
+            match &mut self.repr {
+                Repr::Heap(v) => {
+                    v.clear();
+                    v.resize(words, 0);
+                }
+                inline => *inline = Repr::Heap(vec![0; words]),
+            }
+        }
+    }
+
     /// `true` if the set has no elements.
     pub fn is_empty(&self) -> bool {
         self.words().iter().all(|&w| w == 0)
@@ -474,6 +496,34 @@ mod tests {
             assert!(d.remove(cap - 1));
             assert!(!d.contains(cap));
         }
+    }
+
+    #[test]
+    fn reset_reshapes_across_the_inline_boundary() {
+        // 65 → 64 → 63: heap-backed exactly once, and the demotion back
+        // under one word must drop the heap representation entirely.
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        assert!(matches!(s.repr, Repr::Heap(_)));
+        s.reset(64);
+        assert!(matches!(s.repr, Repr::Inline(_)), "64 bits demotes inline");
+        assert_eq!(s.capacity(), 64);
+        assert!(s.is_empty() && s.is_trimmed());
+        assert!(s.insert(63));
+        s.reset(63);
+        assert!(matches!(s.repr, Repr::Inline(_)));
+        assert!(s.is_empty(), "reset clears stale bits");
+        assert!(!s.contains(63) && s.insert(62));
+        // 63 → 65: promotion allocates the right width and starts empty.
+        s.reset(65);
+        assert!(matches!(s.repr, Repr::Heap(_)));
+        assert_eq!(s.words().len(), 2);
+        assert!(s.is_empty() && s.insert(64));
+        // Heap → heap resize reuses the vector and clears every word.
+        s.reset(130);
+        assert!(s.is_empty());
+        assert_eq!(s.words().len(), 3);
+        assert_eq!(s, BitSet::new(130));
     }
 
     #[test]

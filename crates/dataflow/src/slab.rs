@@ -210,6 +210,15 @@ impl BitSlab {
         }
     }
 
+    /// Fused `dst ← a ∩ b`.
+    #[inline]
+    pub fn copy_and(&mut self, dst: usize, a: usize, b: usize) {
+        let (d, a, b) = (self.base(dst), self.base(a), self.base(b));
+        for w in 0..self.stride {
+            self.words[d + w] = self.words[a + w] & self.words[b + w];
+        }
+    }
+
     /// Fused `dst ← a ∖ b`.
     #[inline]
     pub fn copy_andnot(&mut self, dst: usize, a: usize, b: usize) {
@@ -456,6 +465,13 @@ mod tests {
 
             slab.copy_or(3, 0, 1);
             assert_eq!(slab.row(3).to_bitset(), a.union(&b), "copy_or cap {cap}");
+
+            slab.copy_and(3, 0, 1);
+            assert_eq!(
+                slab.row(3).to_bitset(),
+                a.intersection(&b),
+                "copy_and cap {cap}"
+            );
 
             slab.copy_andnot(3, 0, 1);
             assert_eq!(
