@@ -11,7 +11,7 @@ use crate::invariants::lint_graph;
 use crate::placement::{lint_placement, PlacementLintOptions};
 use crate::provenance::{chain_trail, why_not_trail};
 use gnt_cfg::{node_spans, reversed_graph, DotOverlay};
-use gnt_comm::{analyze, generate, CommConfig, CommPlan};
+use gnt_comm::{analyze, generate_with_options, CommConfig, CommPlan, GenerateOptions};
 use gnt_core::{
     check_balance, check_sufficiency, shift_off_synthetic, BlameEngine, Flavor, SolverOptions, Var,
 };
@@ -197,7 +197,12 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     let refs: Vec<&str> = distributed.iter().map(String::as_str).collect();
     let analysis = analyze(program, &CommConfig::distributed(&refs))
         .map_err(|e| LintError::Pipeline(e.to_string()))?;
-    let plan = generate(analysis).map_err(|e| LintError::Pipeline(e.to_string()))?;
+    // One scratch arena backs the whole pipeline: plan generation, the
+    // READ/WRITE lint solves, and blame all replay the same cached
+    // schedule tapes instead of each compiling their own.
+    let mut scratch = gnt_core::SolverScratch::new();
+    let plan = generate_with_options(analysis, &GenerateOptions::default(), &mut scratch)
+        .map_err(|e| LintError::Pipeline(e.to_string()))?;
     let graph = &plan.analysis.graph;
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
@@ -223,7 +228,6 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     // on the same shifted solution the plan was emitted from. The READ
     // and WRITE solves below share one scratch arena.
     let solver_opts = SolverOptions::default();
-    let mut scratch = gnt_core::SolverScratch::new();
     if opts.select != ProblemSelect::After {
         let mut sol = gnt_core::solve_batch_with_scratch(
             graph,

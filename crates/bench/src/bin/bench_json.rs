@@ -10,6 +10,12 @@
 //! * `solve_batch/16items` — the schedule-tape replay
 //!   ([`gnt_core::solve_batch`], cached tape + reused output buffer) at
 //!   the same sizes;
+//! * `pressure_resolve/full` and `pressure_resolve/delta` — one
+//!   pressure-loop round (toggle a `STEAL_init` bit, re-solve) served by
+//!   a full tape replay vs the incremental delta engine
+//!   ([`gnt_core::solve_delta`], the EXP-C4 protocol);
+//! * `delta_1row/16items` — a single `TAKE_init` bit toggled and
+//!   re-solved incrementally, the engine's best case;
 //! * `solve/256items`, `solve_par/256items`, and `solve_batch/256items` —
 //!   a 4-word universe solved interpreted-sequentially, item-sharded, and
 //!   by cached-tape replay (the EXP-C2 protocol).
@@ -26,7 +32,9 @@
 //! ns/node, or the process exits 1 — the CI perf gate. Smoke runs gate
 //! against the committed `BENCH_solver_smoke.json` (smoke medians use
 //! fewer runs and smaller sizes, so full-run baselines would not
-//! compare); records with no baseline match are ignored.
+//! compare). New records with no baseline row are ignored; a baseline
+//! row with no measurement in the run fails the gate, so silently
+//! dropping or renaming a benchmark cannot slip through.
 
 use gnt_bench::{
     check_against_baseline, json_flag_from_args, median_ns, read_records_json, write_records_json,
@@ -34,11 +42,32 @@ use gnt_bench::{
 };
 use gnt_cfg::IntervalGraph;
 use gnt_core::{
-    planned_shards, random_problem, sized_program, solve, solve_batch, solve_into, solve_par,
-    Solution, SolverOptions, SolverScratch,
+    planned_shards, random_problem, sized_program, solve, solve_batch, solve_batch_into,
+    solve_delta, solve_into, solve_par, DeltaSet, Solution, SolverOptions, SolverScratch,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Flips one `STEAL_init` bit at `node` (item 3), so each call really
+/// mutates the row the delta benchmarks mark.
+fn toggle_steal(problem: &mut gnt_core::PlacementProblem, node: gnt_cfg::NodeId) {
+    let row = &mut problem.steal_init[node.index()];
+    if row.contains(3) {
+        row.remove(3);
+    } else {
+        row.insert(3);
+    }
+}
+
+/// Flips one `TAKE_init` bit at `node` (item 3).
+fn toggle_take(problem: &mut gnt_core::PlacementProblem, node: gnt_cfg::NodeId) {
+    let row = &mut problem.take_init[node.index()];
+    if row.contains(3) {
+        row.remove(3);
+    } else {
+        row.insert(3);
+    }
+}
 
 /// Value of `--flag <value>` in the process arguments, if present.
 fn flag_value(flag: &str) -> Option<String> {
@@ -104,6 +133,65 @@ fn main() -> ExitCode {
         });
         records.push(BenchRecord {
             bench: "solve_batch/16items".to_string(),
+            nodes,
+            items: 16,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+
+        // One pressure-loop round — toggle a STEAL_init bit at a mid-
+        // program node, re-solve — served two ways over the same warm
+        // scratch. `full` replays the whole cached tape (what the loop
+        // did before the delta engine); `delta` replays only the dirty
+        // cone. The mutation alternates insert/remove so every timed
+        // call really changes the row, honoring the delta contract.
+        let hot = gnt_cfg::NodeId((nodes / 2) as u32);
+        let mut working = problem.clone();
+        let mut scratch = SolverScratch::new();
+        solve_batch_into(&graph, &working, &opts, &mut scratch);
+        let ns = median_ns(runs, || {
+            toggle_steal(&mut working, hot);
+            solve_batch_into(&graph, &working, &opts, &mut scratch);
+        });
+        records.push(BenchRecord {
+            bench: "pressure_resolve/full".to_string(),
+            nodes,
+            items: 16,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+
+        let mut working = problem.clone();
+        let mut scratch = SolverScratch::new();
+        let mut delta = DeltaSet::new();
+        solve_batch_into(&graph, &working, &opts, &mut scratch);
+        let ns = median_ns(runs, || {
+            toggle_steal(&mut working, hot);
+            delta.clear();
+            delta.mark_steal(hot);
+            solve_delta(&graph, &working, &opts, &mut scratch, &delta)
+        });
+        records.push(BenchRecord {
+            bench: "pressure_resolve/delta".to_string(),
+            nodes,
+            items: 16,
+            ns_per_node: ns / nodes as f64,
+            threads: 1,
+        });
+
+        // The engine's best case: one TAKE_init bit at one node.
+        let mut working = problem.clone();
+        let mut scratch = SolverScratch::new();
+        let mut delta = DeltaSet::new();
+        solve_batch_into(&graph, &working, &opts, &mut scratch);
+        let ns = median_ns(runs, || {
+            toggle_take(&mut working, hot);
+            delta.clear();
+            delta.mark_take(hot);
+            solve_delta(&graph, &working, &opts, &mut scratch, &delta)
+        });
+        records.push(BenchRecord {
+            bench: "delta_1row/16items".to_string(),
             nodes,
             items: 16,
             ns_per_node: ns / nodes as f64,

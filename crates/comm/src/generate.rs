@@ -9,8 +9,8 @@
 use crate::analyze::CommAnalysis;
 use gnt_cfg::{EdgeMask, IntervalGraph, NodeId};
 use gnt_core::{
-    shift_off_synthetic, solve_after_with_scratch, solve_batch_with_scratch, Flavor, SolverOptions,
-    SolverScratch,
+    shift_off_synthetic, solve_after_with_scratch, solve_batch_with_scratch,
+    solve_with_pressure_limit_in_place, Flavor, PressureReport, SolverOptions, SolverScratch,
 };
 use gnt_dataflow::ItemId;
 use std::fmt;
@@ -114,6 +114,10 @@ pub struct CommPlan {
     /// Operations executed immediately after each node (loop headers:
     /// after the `enddo`).
     pub after: Vec<Vec<CommOp>>,
+    /// Outcome of the pressure-limited READ solve, when
+    /// [`GenerateOptions::max_in_flight`] was set; `None` for unlimited
+    /// plans.
+    pub read_pressure: Option<PressureReport>,
 }
 
 impl CommPlan {
@@ -138,6 +142,33 @@ impl CommPlan {
     }
 }
 
+/// Knobs for [`generate_with_options`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenerateOptions {
+    /// Split Send/Recv pairs or fused atomic operations.
+    pub style: PlacementStyle,
+    /// When set, bound the READ solve's in-flight message count: the
+    /// solver re-solves with heuristic `STEAL_init` insertions (§6
+    /// pressure extension) until no program point has more than this many
+    /// sent-but-unreceived portions. The re-solve rounds run on the
+    /// incremental delta engine, so tightening the bound costs far less
+    /// than repeated full solves.
+    pub max_in_flight: Option<usize>,
+    /// Round budget for the pressure heuristic (the bound may be
+    /// infeasible).
+    pub max_pressure_rounds: usize,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> GenerateOptions {
+        GenerateOptions {
+            style: PlacementStyle::Split,
+            max_in_flight: None,
+            max_pressure_rounds: 32,
+        }
+    }
+}
+
 /// Solves both problems and assembles the plan with the default
 /// [`PlacementStyle::Split`].
 ///
@@ -157,16 +188,57 @@ pub fn generate_styled(
     analysis: CommAnalysis,
     style: PlacementStyle,
 ) -> Result<CommPlan, Box<dyn std::error::Error>> {
+    let mut scratch = SolverScratch::new();
+    generate_with_options(
+        analysis,
+        &GenerateOptions {
+            style,
+            ..Default::default()
+        },
+        &mut scratch,
+    )
+}
+
+/// The fully-parameterized entry point: solves both problems through the
+/// caller's `scratch` (sharing its cached schedule tapes and arena with
+/// whatever solved before — the lint driver threads one scratch through
+/// analysis, generation, and blame) and assembles the plan.
+///
+/// # Errors
+///
+/// Fails if the reversed graph for the WRITE problem cannot be built.
+pub fn generate_with_options(
+    analysis: CommAnalysis,
+    gen_opts: &GenerateOptions,
+    scratch: &mut SolverScratch,
+) -> Result<CommPlan, Box<dyn std::error::Error>> {
+    let style = gen_opts.style;
     let opts = SolverOptions::default();
     let graph = &analysis.graph;
     let n = graph.num_nodes();
     let mut before: Vec<Vec<CommOp>> = vec![Vec::new(); n];
     let mut after: Vec<Vec<CommOp>> = vec![Vec::new(); n];
 
-    // READ: BEFORE problem on the forward graph. One scratch arena backs
-    // this solve and the WRITE solves below.
-    let mut scratch = SolverScratch::new();
-    let mut read = solve_batch_with_scratch(graph, &analysis.read_problem, &opts, &mut scratch);
+    // READ: BEFORE problem on the forward graph, pressure-bounded when
+    // asked. One scratch arena backs this solve and the WRITE solves
+    // below.
+    let mut read_pressure = None;
+    let mut read = match gen_opts.max_in_flight {
+        Some(limit) => {
+            let mut working = analysis.read_problem.clone();
+            let (solution, report) = solve_with_pressure_limit_in_place(
+                graph,
+                &mut working,
+                &opts,
+                limit,
+                gen_opts.max_pressure_rounds,
+                scratch,
+            );
+            read_pressure = Some(report);
+            solution
+        }
+        None => solve_batch_with_scratch(graph, &analysis.read_problem, &opts, scratch),
+    };
 
     // Phase coupling: a *placed* READ operation re-communicates owner
     // data, so every pending write-back of an overlapping portion must
@@ -227,7 +299,7 @@ pub fn generate_styled(
 
     // WRITE: AFTER problem on the reversed graph. Reversed RES_in is
     // production after the node in program order; reversed RES_out before.
-    let mut write = solve_after_with_scratch(graph, &write_problem, &opts, &mut scratch)?;
+    let mut write = solve_after_with_scratch(graph, &write_problem, &opts, scratch)?;
     shift_off_synthetic(&write.reversed, &mut write.solution.eager);
     shift_off_synthetic(&write.reversed, &mut write.solution.lazy);
     let mut write_before: Vec<Vec<CommOp>> = vec![Vec::new(); n];
@@ -279,6 +351,7 @@ pub fn generate_styled(
         analysis,
         before,
         after,
+        read_pressure,
     })
 }
 
@@ -363,6 +436,47 @@ mod tests {
         assert!(is_before);
         let g = &plan.analysis.graph;
         assert!(g.preorder_index(send_node) <= 2, "{}", g.dump());
+    }
+
+    #[test]
+    fn unlimited_options_match_the_plain_entry_point() {
+        let src = "do i = 1, N\n  y(i) = ...\nenddo\ndo k = 1, N\n  ... = x(a(k))\nenddo";
+        let p = parse(src).unwrap();
+        let a = analyze(&p, &CommConfig::distributed(&["x"])).unwrap();
+        let plain = generate(a.clone()).unwrap();
+        let mut scratch = SolverScratch::new();
+        let opted = generate_with_options(a, &GenerateOptions::default(), &mut scratch).unwrap();
+        assert_eq!(plain.before, opted.before);
+        assert_eq!(plain.after, opted.after);
+        assert!(opted.read_pressure.is_none());
+    }
+
+    #[test]
+    fn bounded_in_flight_reports_pressure_and_uses_delta_rounds() {
+        // Several independent gathers: unlimited placement hoists every
+        // READ_send to the top, so they are all in flight at once and the
+        // bound forces re-solve rounds.
+        let src = "... = x(1)\n... = x(11)\n... = x(21)\n... = x(31)";
+        let p = parse(src).unwrap();
+        let a = analyze(&p, &CommConfig::distributed(&["x"])).unwrap();
+        let mut scratch = SolverScratch::new();
+        let opts = GenerateOptions {
+            max_in_flight: Some(1),
+            ..Default::default()
+        };
+        let plan = generate_with_options(a, &opts, &mut scratch).unwrap();
+        let report = plan
+            .read_pressure
+            .clone()
+            .expect("bounded solve reports pressure");
+        assert!(report.initial_max > 1, "{report:?}");
+        assert!(report.final_max <= 1, "{report:?}");
+        assert_eq!(
+            report.delta_rounds, report.rounds,
+            "re-solve rounds must run incrementally: {report:?}"
+        );
+        // The plan still communicates every portion.
+        assert_eq!(plan.count(OpKind::ReadRecv), 4);
     }
 
     #[test]

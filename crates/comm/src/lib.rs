@@ -40,5 +40,8 @@ mod generate;
 mod render;
 
 pub use analyze::{analyze, CommAnalysis, CommConfig};
-pub use generate::{generate, generate_styled, CommOp, CommPlan, OpKind, PlacementStyle};
+pub use generate::{
+    generate, generate_styled, generate_with_options, CommOp, CommPlan, GenerateOptions, OpKind,
+    PlacementStyle,
+};
 pub use render::render;

@@ -59,6 +59,7 @@
 
 mod after;
 mod blame;
+mod delta;
 mod generator;
 mod pressure;
 mod problem;
@@ -72,6 +73,7 @@ pub use after::{solve_after, solve_after_with_scratch, AfterSolution};
 pub use blame::{
     check_chain, Absence, BlameChain, BlameEngine, BlameStep, Reason, Root, Var, WhyNot, WhyNotStep,
 };
+pub use delta::{solve_delta, solve_delta_with_scratch, DeltaKind, DeltaReport, DeltaSet};
 pub use generator::{random_problem, random_program, sized_program, GenConfig};
 pub use pressure::{
     measure_pressure, solve_with_pressure_limit, solve_with_pressure_limit_in_place, PressureReport,

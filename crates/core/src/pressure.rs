@@ -20,6 +20,7 @@
 //! inserted steals back before returning — no per-round clones, no
 //! per-round `Solution` export.
 
+use crate::delta::{solve_delta, DeltaSet};
 use crate::problem::{PlacementProblem, SolverOptions};
 use crate::scratch::SolverScratch;
 use crate::solver::Solution;
@@ -51,6 +52,10 @@ pub struct PressureReport {
     pub steals_inserted: usize,
     /// Rounds of re-solving performed.
     pub rounds: usize,
+    /// Rounds served by the incremental engine ([`crate::solve_delta`])
+    /// rather than a full tape replay. Equal to `rounds` whenever the
+    /// tape supports delta execution (all forward tapes do).
+    pub delta_rounds: usize,
 }
 
 /// Solves `problem`, then re-solves with additional `STEAL_init`s until
@@ -98,9 +103,10 @@ pub fn solve_with_pressure_limit_in_place(
     max_rounds: usize,
     scratch: &mut SolverScratch,
 ) -> (Solution, PressureReport) {
-    // Every round replays the scratch-cached schedule tape: inserted
-    // steals only change the *loaded* `STEAL_init` data, never the
-    // compiled op sequence, so the tape compiles once for the whole loop.
+    // Round 0 is a full tape replay; it establishes the delta basis, so
+    // every later round — which only mutates `STEAL_init` at the one hot
+    // node — re-solves incrementally through the cached tape's dirty-row
+    // engine instead of replaying every op.
     solve_batch_into(graph, problem, opts, scratch);
     let pressure_max = |s: &SolverScratch| {
         graph
@@ -115,10 +121,12 @@ pub fn solve_with_pressure_limit_in_place(
         final_max: initial_max,
         steals_inserted: 0,
         rounds: 0,
+        delta_rounds: 0,
     };
     // Steals inserted by the heuristic (only those not already present in
     // the caller's problem), for rollback.
     let mut inserted: Vec<(usize, usize)> = Vec::new();
+    let mut delta = DeltaSet::new();
 
     while report.final_max > max_pending && report.rounds < max_rounds {
         report.rounds += 1;
@@ -141,7 +149,13 @@ pub fn solve_with_pressure_limit_in_place(
                 report.steals_inserted += 1;
             }
         }
-        solve_batch_into(graph, problem, opts, scratch);
+        // Only STEAL_init(hot) changed since the solve the scratch holds.
+        delta.clear();
+        delta.mark_steal(node);
+        let delta_report = solve_delta(graph, problem, opts, scratch, &delta);
+        if !delta_report.full_replay {
+            report.delta_rounds += 1;
+        }
         report.final_max = pressure_max(scratch);
     }
     let solution = scratch.export();
@@ -226,6 +240,17 @@ mod tests {
         let (s, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 0, 8);
         assert!(report.rounds <= 8);
         assert!(check_sufficiency(&g, &p, &s.eager, true).is_empty());
+    }
+
+    #[test]
+    fn pressure_rounds_are_served_incrementally() {
+        let (g, p) = chain(6);
+        let (_, report) = solve_with_pressure_limit(&g, &p, &SolverOptions::default(), 2, 32);
+        assert!(report.rounds > 0);
+        assert_eq!(
+            report.delta_rounds, report.rounds,
+            "forward tapes must serve every re-solve round via the delta engine: {report:?}"
+        );
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub struct SolverScratch {
     /// by the `solve_batch*` entry points as long as the graph shape and
     /// hoisting options fingerprint the same (see [`crate::ScheduleTape`]).
     pub(crate) tapes: crate::tape::TapeCache,
+    /// Fingerprint of the tape whose *full-universe* replay the arena
+    /// currently holds, if any — the validity token for
+    /// [`crate::solve_delta`]. Set by a full tape execution, cleared by
+    /// [`SolverScratch::prepare`] (every interpreted solve and every
+    /// shard-window replay goes through it).
+    delta_basis: Option<u64>,
 }
 
 impl Default for SolverScratch {
@@ -100,6 +106,7 @@ impl SolverScratch {
             nodes: 0,
             bits: 0,
             tapes: crate::tape::TapeCache::default(),
+            delta_basis: None,
         }
     }
 
@@ -108,7 +115,18 @@ impl SolverScratch {
     pub(crate) fn prepare(&mut self, nodes: usize, bits: usize) {
         self.nodes = nodes;
         self.bits = bits;
+        self.delta_basis = None;
         self.slab.reset(NUM_FAMILIES * nodes + NUM_TEMPS, bits);
+    }
+
+    /// The delta-validity token: the fingerprint of the tape whose full
+    /// replay this arena holds, if any (see [`crate::solve_delta`]).
+    pub(crate) fn delta_basis(&self) -> Option<u64> {
+        self.delta_basis
+    }
+
+    pub(crate) fn set_delta_basis(&mut self, basis: Option<u64>) {
+        self.delta_basis = basis;
     }
 
     /// Number of graph nodes of the last solve.

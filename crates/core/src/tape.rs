@@ -165,6 +165,7 @@ pub struct ScheduleTape {
     nodes: usize,
     unfused_ops: usize,
     fingerprint: u64,
+    delta: crate::delta::DeltaIndex,
 }
 
 impl ScheduleTape {
@@ -540,11 +541,13 @@ impl ScheduleTape {
 
         let unfused_ops = ops.len();
         let ops = fuse(ops);
+        let delta = crate::delta::DeltaIndex::build(&ops, n);
         ScheduleTape {
             ops,
             nodes: n,
             unfused_ops,
             fingerprint: fingerprint(graph, opts),
+            delta,
         }
     }
 
@@ -568,6 +571,26 @@ impl ScheduleTape {
     /// The compiled ops, for inspection and tests.
     pub fn ops(&self) -> &[TapeOp] {
         &self.ops
+    }
+
+    /// Whether this tape admits incremental re-execution via
+    /// [`crate::solve_delta`]. Forward tapes always do; tapes with
+    /// forward references (e.g. jump-in sources on reversed graphs) do
+    /// not, and [`crate::solve_delta`] silently falls back to a full
+    /// replay for them.
+    pub fn delta_supported(&self) -> bool {
+        self.delta.supported()
+    }
+
+    /// The block partition and consumer indices behind
+    /// [`crate::solve_delta`].
+    pub(crate) fn delta_index(&self) -> &crate::delta::DeltaIndex {
+        &self.delta
+    }
+
+    /// The structural fingerprint this tape was compiled under.
+    pub(crate) fn fingerprint_value(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Replays the tape over the full universe into `scratch`, leaving
@@ -631,6 +654,12 @@ impl ScheduleTape {
                     window_of(&problem.give_init[node as usize], &win),
                 ),
             }
+        }
+        // A full-universe replay establishes the basis the incremental
+        // engine (`solve_delta`) re-solves against; shard windows leave
+        // the scratch holding only a slice and must not.
+        if win.word0 == 0 && win.bits == problem.universe_size {
+            scratch.set_delta_basis(Some(self.fingerprint));
         }
     }
 }
@@ -759,7 +788,7 @@ impl TapeCache {
     /// `graph` under `opts`; compiles a fresh tape otherwise. The caller
     /// returns it with [`TapeCache::put`] after executing (the tape moves
     /// out so the scratch can be mutably borrowed during execution).
-    fn take_or_compile(
+    pub(crate) fn take_or_compile(
         &mut self,
         dir: Direction,
         graph: &IntervalGraph,
@@ -771,7 +800,7 @@ impl TapeCache {
         }
     }
 
-    fn put(&mut self, dir: Direction, tape: ScheduleTape) {
+    pub(crate) fn put(&mut self, dir: Direction, tape: ScheduleTape) {
         self.slots[Self::slot(dir)] = Some(tape);
     }
 }
@@ -907,8 +936,9 @@ pub(crate) fn solve_batch_with_scratch_dir(
 }
 
 /// Replays `tape` over `shards` word windows in parallel (one scratch per
-/// shard thread) and stitches the windows into `out`, which must already
-/// be shaped for the full universe.
+/// shard job, run on the persistent [`gnt_dataflow::global_pool`] rather
+/// than per-call spawned threads) and stitches the windows into `out`,
+/// which must already be shaped for the full universe.
 pub(crate) fn execute_sharded(
     tape: &ScheduleTape,
     problem: &PlacementProblem,
@@ -916,23 +946,19 @@ pub(crate) fn execute_sharded(
     out: &mut Solution,
 ) {
     let windows = windows_for(problem.universe_size, shards);
-    let results: Vec<(SolverScratch, usize)> = std::thread::scope(|s| {
-        let handles: Vec<_> = windows
-            .iter()
-            .map(|&win| {
-                s.spawn(move || {
-                    let mut scratch = SolverScratch::new();
-                    tape.execute_window(problem, &mut scratch, win);
-                    (scratch, win.word0)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("tape shard panicked"))
-            .collect()
+    let mut results: Vec<Option<(SolverScratch, usize)>> =
+        (0..windows.len()).map(|_| None).collect();
+    gnt_dataflow::global_pool().scope(|s| {
+        for (slot, &win) in results.iter_mut().zip(windows.iter()) {
+            s.spawn(move || {
+                let mut scratch = SolverScratch::new();
+                tape.execute_window(problem, &mut scratch, win);
+                *slot = Some((scratch, win.word0));
+            });
+        }
     });
-    for (scratch, word0) in &results {
+    for entry in &results {
+        let (scratch, word0) = entry.as_ref().expect("pool scope joins all shards");
         scratch.write_into(out, *word0);
     }
 }

@@ -7,6 +7,8 @@
 //! * [`BitSet`] — dense bit vectors over a finite universe,
 //! * [`BitSlab`] — a flat arena of bit rows with fused word-level kernels,
 //!   the zero-allocation data plane of the GIVE-N-TAKE solver,
+//! * [`WorkerPool`] — persistent worker threads with a scoped-spawn API,
+//!   so repeated sharded solves stop paying per-call thread spawns,
 //! * [`Universe`] — interning of domain items ([`ItemId`]) into bitset
 //!   indices,
 //! * [`GenKillProblem`] — a generic iterative (worklist) solver for classic
@@ -36,11 +38,13 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod pool;
 mod slab;
 mod solver;
 mod universe;
 
 pub use bitset::{BitSet, Iter};
+pub use pool::{global_pool, PoolScope, WorkerPool};
 pub use slab::{BitMut, BitRef, BitSlab};
 pub use solver::{Direction, FlowGraph, GenKillProblem, Meet, SimpleGraph, Solution};
 pub use universe::{ItemId, Universe};

@@ -1,0 +1,303 @@
+//! A persistent worker pool for sharded solver execution.
+//!
+//! The item-sharded solve paths used to spawn OS threads through
+//! [`std::thread::scope`] on every call — acceptable for one cold solve,
+//! but the repeated-query traffic this crate is built for (pressure
+//! re-solve rounds, lint drivers, plan regeneration) pays the spawn and
+//! teardown cost on every round. A [`WorkerPool`] keeps its threads
+//! parked on a condvar between calls; [`WorkerPool::scope`] hands out a
+//! [`PoolScope`] whose [`PoolScope::spawn`] accepts non-`'static`
+//! closures exactly like `std::thread::scope`, and joins every job
+//! before returning (also on unwind), which is what makes the lifetime
+//! erasure inside sound.
+//!
+//! [`global_pool`] is the process-wide lazily-created instance sized to
+//! the available parallelism; the sharded tape executor in `gnt-core`
+//! draws from it instead of spawning.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    job_ready: Condvar,
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads with a scoped-spawn
+/// API. Threads are spawned once in [`WorkerPool::new`] and parked
+/// between jobs; dropping the pool shuts them down.
+///
+/// # Examples
+///
+/// ```
+/// use gnt_dataflow::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let mut parts = vec![0u64; 8];
+/// pool.scope(|s| {
+///     for (i, slot) in parts.iter_mut().enumerate() {
+///         s.spawn(move || *slot = i as u64 * 10);
+///     }
+/// });
+/// assert_eq!(parts.iter().sum::<u64>(), 280);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` parked threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gnt-pool-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` with a [`PoolScope`] and blocks until every job spawned
+    /// through it has finished — the pool-backed equivalent of
+    /// [`std::thread::scope`]. The wait happens even if `f` unwinds, so
+    /// borrows captured by the jobs can never dangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spawned job panicked.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        let scope = PoolScope {
+            shared: &self.shared,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                all_done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _env: PhantomData,
+        };
+        /// Joins the scope's jobs on drop, so the wait also runs when the
+        /// closure unwinds.
+        struct WaitGuard<'a>(&'a ScopeState);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let mut pending = self.0.pending.lock().expect("pool scope poisoned");
+                while *pending > 0 {
+                    pending = self.0.all_done.wait(pending).expect("pool scope poisoned");
+                }
+            }
+        }
+        let result = {
+            let _guard = WaitGuard(&scope.state);
+            f(&scope)
+        };
+        assert!(
+            !scope.state.panicked.load(Ordering::Acquire),
+            "worker pool job panicked"
+        );
+        result
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool({} workers)", self.workers)
+    }
+}
+
+/// The spawn handle passed to the closure of [`WorkerPool::scope`]:
+/// jobs may borrow from the enclosing environment (`'env`), because the
+/// scope joins them all before it returns.
+pub struct PoolScope<'pool, 'env> {
+    shared: &'pool Arc<PoolShared>,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Queues `job` on the pool. Panics inside the job are caught and
+    /// re-raised by the enclosing [`WorkerPool::scope`] call after all
+    /// jobs finish.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        *self.state.pending.lock().expect("pool scope poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the job queue requires 'static, but `scope` (via its
+        // drop guard, which runs even on unwind) blocks until `pending`
+        // reaches zero — i.e. until this job has run to completion — so
+        // nothing borrowed for 'env is ever used after 'env ends.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let wrapped: Job = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            let mut pending = state.pending.lock().expect("pool scope poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                state.all_done.notify_all();
+            }
+        });
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.jobs.push_back(wrapped);
+        }
+        self.shared.job_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.job_ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// The process-wide pool, created on first use and sized to
+/// [`std::thread::available_parallelism`]. Solver shards across the
+/// whole process share these threads instead of each call spawning its
+/// own.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = thread::available_parallelism().map_or(4, usize::from);
+        WorkerPool::new(workers)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_joins_all_jobs_and_allows_borrows() {
+        let pool = WorkerPool::new(3);
+        let mut slots = vec![0usize; 40];
+        pool.scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = i + 1);
+            }
+        });
+        assert_eq!(slots.iter().sum::<usize>(), 40 * 41 / 2);
+    }
+
+    #[test]
+    fn scopes_are_reusable_and_pool_outlives_many_rounds() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_run() {
+        let pool = WorkerPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker pool job panicked")]
+    fn job_panics_propagate_to_the_scope_caller() {
+        let pool = WorkerPool::new(2);
+        pool.scope(|s| {
+            s.spawn(|| panic!("boom"));
+            s.spawn(|| {});
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_working() {
+        let p1 = global_pool() as *const WorkerPool;
+        let p2 = global_pool() as *const WorkerPool;
+        assert_eq!(p1, p2);
+        let counter = AtomicUsize::new(0);
+        global_pool().scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}
