@@ -402,10 +402,29 @@ pub(crate) fn json_escape(s: &str) -> String {
 /// `gnt-lint --format=json`). Spans are reported as byte offsets plus
 /// 1-based line/column.
 pub fn render_json(diags: &[Diagnostic], file: &str, src: &str) -> String {
-    use std::fmt::Write as _;
+    render_json_batch(&[(diags, file, src)])
+}
+
+/// Multi-file variant of [`render_json`]: one flat JSON array over every
+/// `(diagnostics, file, source)` entry, in entry order — what `gnt-lint`
+/// emits for a batch so downstream tooling parses one document.
+pub fn render_json_batch(entries: &[(&[Diagnostic], &str, &str)]) -> String {
     let mut out = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
+    let mut i = 0usize;
+    for &(diags, file, src) in entries {
+        for d in diags {
+            write_json_diag(&mut out, d, file, src, i == 0);
+            i += 1;
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn write_json_diag(out: &mut String, d: &Diagnostic, file: &str, src: &str, first: bool) {
+    use std::fmt::Write as _;
+    {
+        if !first {
             out.push(',');
         }
         let _ = write!(
@@ -462,8 +481,6 @@ pub fn render_json(diags: &[Diagnostic], file: &str, src: &str) -> String {
         }
         out.push('}');
     }
-    out.push_str("\n]\n");
-    out
 }
 
 #[cfg(test)]

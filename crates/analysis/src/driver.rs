@@ -185,11 +185,34 @@ fn enrich(d: &mut Diagnostic, engine: &BlameEngine<'_>, item_names: &[String]) {
 /// Lints `program` end to end and returns every finding with source
 /// spans attached (when the program was parsed).
 ///
+/// The solver workspace comes from [`gnt_core::ScratchPool::global`], so
+/// repeated calls (and the batch front-end, [`crate::batch::lint_batch`])
+/// reuse warm arenas and cached schedule tapes instead of allocating.
+///
 /// # Errors
 ///
 /// Fails only when the pipeline itself cannot run (irreducible control
 /// flow, plan generation failure) — lint findings are not errors.
 pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport, LintError> {
+    let mut scratch = gnt_core::ScratchPool::global().checkout();
+    lint_program_with_scratch(program, opts, &mut scratch)
+}
+
+/// [`lint_program`] with a caller-provided solver workspace: one scratch
+/// arena backs the whole pipeline — plan generation, the READ/WRITE lint
+/// solves, and blame all replay the same cached schedule tapes instead
+/// of each compiling their own. The batch front-end checks scratches out
+/// of a [`gnt_core::ScratchPool`] per worker and calls this.
+///
+/// # Errors
+///
+/// Fails only when the pipeline itself cannot run (irreducible control
+/// flow, plan generation failure) — lint findings are not errors.
+pub fn lint_program_with_scratch(
+    program: &Program,
+    opts: &LintOptions,
+    scratch: &mut gnt_core::SolverScratch,
+) -> Result<LintReport, LintError> {
     let distributed = opts
         .distributed
         .clone()
@@ -197,11 +220,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
     let refs: Vec<&str> = distributed.iter().map(String::as_str).collect();
     let analysis = analyze(program, &CommConfig::distributed(&refs))
         .map_err(|e| LintError::Pipeline(e.to_string()))?;
-    // One scratch arena backs the whole pipeline: plan generation, the
-    // READ/WRITE lint solves, and blame all replay the same cached
-    // schedule tapes instead of each compiling their own.
-    let mut scratch = gnt_core::SolverScratch::new();
-    let plan = generate_with_options(analysis, &GenerateOptions::default(), &mut scratch)
+    let plan = generate_with_options(analysis, &GenerateOptions::default(), scratch)
         .map_err(|e| LintError::Pipeline(e.to_string()))?;
     let graph = &plan.analysis.graph;
 
@@ -233,7 +252,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
             graph,
             &plan.analysis.read_problem,
             &SolverOptions::default(),
-            &mut scratch,
+            scratch,
         );
         shift_off_synthetic(graph, &mut sol.eager);
         shift_off_synthetic(graph, &mut sol.lazy);
@@ -264,7 +283,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
         ));
         // Blame enrichment: the scratch still holds the full READ solve
         // (this must precede the WRITE solve, which reuses the arena).
-        let engine = BlameEngine::new(graph, &plan.analysis.read_problem, &solver_opts, &scratch);
+        let engine = BlameEngine::new(graph, &plan.analysis.read_problem, &solver_opts, scratch);
         for d in &mut found {
             enrich(d, &engine, &item_names);
         }
@@ -278,7 +297,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
             graph,
             &plan.analysis.write_problem,
             &SolverOptions::default(),
-            &mut scratch,
+            scratch,
         ) {
             Ok(after) => {
                 let mut problem = plan.analysis.write_problem.clone();
@@ -298,8 +317,7 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
                 if !found.is_empty() {
                     // The scratch now holds the WRITE solve (reversed
                     // orientation) — blame the findings against it.
-                    let engine =
-                        BlameEngine::new(&after.reversed, &problem, &solver_opts, &scratch);
+                    let engine = BlameEngine::new(&after.reversed, &problem, &solver_opts, scratch);
                     for d in &mut found {
                         enrich(d, &engine, &item_names);
                     }

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod audit;
+pub mod batch;
 pub mod comm_lint;
 pub mod diag;
 pub mod driver;
@@ -70,13 +71,16 @@ pub mod provenance;
 pub mod sarif;
 
 pub use audit::{audit_placement, audit_plan, AuditOptions};
+pub use batch::{batch_exit_code, lint_batch, lint_batch_on, LintOutcome, Source};
 pub use comm_lint::{lint_plan, CommLintOptions};
 pub use diag::{
-    attach_spans, explain, render_json, render_text, CodeFamily, Diagnostic, RelatedInfo, Severity,
-    REGISTRY,
+    attach_spans, explain, render_json, render_json_batch, render_text, CodeFamily, Diagnostic,
+    RelatedInfo, Severity, REGISTRY,
 };
-pub use driver::{lint_program, lint_source, LintError, LintOptions, LintReport};
+pub use driver::{
+    lint_program, lint_program_with_scratch, lint_source, LintError, LintOptions, LintReport,
+};
 pub use invariants::lint_graph;
 pub use placement::{lint_placement, PlacementLintOptions};
 pub use provenance::{render_chain, render_why_not, run_query, QuerySpec};
-pub use sarif::render_sarif;
+pub use sarif::{render_sarif, render_sarif_batch};

@@ -54,6 +54,13 @@ fn level(severity: Severity) -> &'static str {
 /// Renders all diagnostics as a SARIF 2.1.0 log (one run, rules from the
 /// registry, derivation trails as `relatedLocations`).
 pub fn render_sarif(diags: &[Diagnostic], file: &str, src: &str) -> String {
+    render_sarif_batch(&[(diags, file, src)])
+}
+
+/// Multi-file variant of [`render_sarif`]: still one run (one tool, one
+/// rule table), with every entry's results in entry order, each anchored
+/// to its own artifact — what `gnt-lint` emits for a batch.
+pub fn render_sarif_batch(entries: &[(&[Diagnostic], &str, &str)]) -> String {
     let mut out = String::from(
         "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
          \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
@@ -79,7 +86,10 @@ pub fn render_sarif(diags: &[Diagnostic], file: &str, src: &str) -> String {
         );
     }
     out.push_str("]}},\"results\":[");
-    for (i, d) in diags.iter().enumerate() {
+    let all = entries
+        .iter()
+        .flat_map(|&(diags, file, src)| diags.iter().map(move |d| (d, file, src)));
+    for (i, (d, file, src)) in all.enumerate() {
         if i > 0 {
             out.push(',');
         }

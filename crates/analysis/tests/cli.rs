@@ -223,6 +223,193 @@ fn list_codes_groups_by_family() {
     );
 }
 
+/// Writes fixtures into a dedicated subdirectory (for directory-walk
+/// tests that must see only their own files).
+fn write_dir_fixture(dir_name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gnt-lint-cli-tests")
+        .join(dir_name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, src) in files {
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("nested dir");
+        }
+        std::fs::write(&path, src).expect("fixture written");
+    }
+    dir
+}
+
+#[test]
+fn multiple_files_lint_in_argument_order() {
+    let a = write_fixture("multi_a.minif", FIG1);
+    let b = write_fixture("multi_b.minif", FIG1);
+    let out = gnt_lint(&[b.to_str().unwrap(), a.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    let b_at = stdout.find("multi_b.minif").expect("b reported");
+    let a_at = stdout.find("multi_a.minif").expect("a reported");
+    assert!(b_at < a_at, "argument order preserved: {stdout}");
+}
+
+#[test]
+fn directory_walk_lints_every_minif_sorted() {
+    let dir = write_dir_fixture(
+        "walk",
+        &[
+            ("zz.minif", FIG1),
+            ("aa.minif", FIG1),
+            ("nested/mid.minif", FIG1),
+            ("ignored.txt", "not minif"),
+        ],
+    );
+    let out = gnt_lint(&[dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    let aa = stdout.find("aa.minif").expect("aa linted");
+    let mid = stdout.find("mid.minif").expect("nested file linted");
+    let zz = stdout.find("zz.minif").expect("zz linted");
+    assert!(aa < mid && mid < zz, "sorted path order: {stdout}");
+    assert!(!stdout.contains("ignored.txt"), "stdout: {stdout}");
+}
+
+#[test]
+fn empty_directory_exits_two() {
+    let dir = write_dir_fixture("empty_walk", &[("readme.txt", "no programs here")]);
+    let out = gnt_lint(&[dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no .minif files"));
+}
+
+#[test]
+fn batch_exit_code_is_the_per_file_maximum() {
+    // Clean + parse error: the parse failure (2) wins, but the clean
+    // file still reports.
+    let good = write_fixture("agg_good.minif", FIG1);
+    let bad = write_fixture("agg_bad.minif", "do i = 1, N\n  a = 1\n");
+    let out = gnt_lint(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "stdout: {stdout}");
+    assert!(stdout.contains("agg_good.minif: clean"), "stdout: {stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("agg_bad.minif"),
+        "stderr names the failing file"
+    );
+
+    // Clean + denied findings: denied (1) wins over clean (0).
+    let out = gnt_lint(&[
+        good.to_str().unwrap(),
+        good.to_str().unwrap(),
+        "--zero-trip",
+        "--deny",
+        "all",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn batch_output_is_identical_across_jobs_counts() {
+    let dir = write_dir_fixture(
+        "jobs_det",
+        &[
+            ("p0.minif", FIG1),
+            ("p1.minif", FIG1),
+            ("p2.minif", FIG1),
+            ("p3.minif", FIG1),
+        ],
+    );
+    let base = gnt_lint(&[dir.to_str().unwrap(), "--zero-trip", "--format=json"]);
+    for jobs in ["1", "2", "8"] {
+        let out = gnt_lint(&[
+            dir.to_str().unwrap(),
+            "--zero-trip",
+            "--format=json",
+            "--jobs",
+            jobs,
+        ]);
+        assert_eq!(out.status.code(), base.status.code());
+        assert_eq!(
+            out.stdout, base.stdout,
+            "byte-identical diagnostics at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn multi_file_json_is_one_flat_array() {
+    let a = write_fixture("json_a.minif", FIG1);
+    let b = write_fixture("json_b.minif", FIG1);
+    let out = gnt_lint(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--zero-trip",
+        "--format=json",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "single array: {stdout}"
+    );
+    assert_eq!(
+        trimmed.matches('[').count()
+            - trimmed.matches("\"notes\":[").count()
+            - trimmed.matches("\"related\":[").count(),
+        1,
+        "no spliced arrays: {stdout}"
+    );
+    assert!(stdout.contains("json_a.minif"), "stdout: {stdout}");
+    assert!(stdout.contains("json_b.minif"), "stdout: {stdout}");
+}
+
+#[test]
+fn multi_file_sarif_is_one_run() {
+    let a = write_fixture("sarif_a.minif", FIG1);
+    let b = write_fixture("sarif_b.minif", FIG1);
+    let out = gnt_lint(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--zero-trip",
+        "--format=sarif",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert_eq!(
+        stdout.matches("\"$schema\"").count(),
+        1,
+        "one log document: {stdout}"
+    );
+    assert_eq!(
+        stdout.matches("\"tool\"").count(),
+        1,
+        "one run, one tool: {stdout}"
+    );
+    assert!(stdout.contains("sarif_a.minif"), "stdout: {stdout}");
+    assert!(stdout.contains("sarif_b.minif"), "stdout: {stdout}");
+}
+
+#[test]
+fn point_queries_require_exactly_one_input() {
+    let a = write_fixture("q_a.minif", FIG1);
+    let b = write_fixture("q_b.minif", FIG1);
+    for flag in [
+        &["--why", "0:0"][..],
+        &["--why-not", "0:0"][..],
+        &["--dot", "/tmp/gnt-lint-cli-tests/q.dot"][..],
+    ] {
+        let mut args = vec![a.to_str().unwrap(), b.to_str().unwrap()];
+        args.extend_from_slice(flag);
+        let out = gnt_lint(&args);
+        assert_eq!(out.status.code(), Some(2), "{flag:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("exactly one input"),
+            "{flag:?}"
+        );
+    }
+}
+
 #[test]
 fn explain_prints_the_family() {
     let out = gnt_lint(&["--explain", "GNT031"]);

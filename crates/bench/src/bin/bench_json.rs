@@ -18,7 +18,18 @@
 //!   re-solved incrementally, the engine's best case;
 //! * `solve/256items`, `solve_par/256items`, and `solve_batch/256items` —
 //!   a 4-word universe solved interpreted-sequentially, item-sharded, and
-//!   by cached-tape replay (the EXP-C2 protocol).
+//!   by cached-tape replay (the EXP-C2 protocol);
+//! * `solve/2048items` and `solve_par/2048items` — a 32-word universe,
+//!   wide enough that the shard planner actually engages (the 256-item
+//!   rows exist to pin the planner's *refusal*; these pin its grant);
+//! * `pipeline/ns_per_node` — one complete lint pipeline run (parse →
+//!   CFG/intervals → analyze → solve → generate → lint) over a sized
+//!   program, warm scratch pool;
+//! * `lint_batch/1threads` and `lint_batch/8threads` — the EXP-C5
+//!   protocol: a corpus of generated programs linted end to end via
+//!   [`gnt_analyze::lint_batch_on`] on fixed-size worker pools,
+//!   normalized to total CFG nodes (items is 0 for pipeline rows: the
+//!   work unit is the program, not the set-universe item).
 //!
 //! ```sh
 //! cargo run -p gnt-bench --release --bin bench_json \
@@ -36,15 +47,19 @@
 //! row with no measurement in the run fails the gate, so silently
 //! dropping or renaming a benchmark cannot slip through.
 
+use gnt_analyze::driver::{lint_source, LintOptions};
+use gnt_analyze::{lint_batch_on, Source};
 use gnt_bench::{
     check_against_baseline, json_flag_from_args, median_ns, read_records_json, write_records_json,
     BenchRecord,
 };
 use gnt_cfg::IntervalGraph;
 use gnt_core::{
-    planned_shards, random_problem, sized_program, solve, solve_batch, solve_batch_into,
-    solve_delta, solve_into, solve_par, DeltaSet, Solution, SolverOptions, SolverScratch,
+    planned_shards, random_problem, random_program, sized_program, solve, solve_batch,
+    solve_batch_into, solve_delta, solve_into, solve_par, DeltaSet, GenConfig, Solution,
+    SolverOptions, SolverScratch,
 };
+use gnt_dataflow::WorkerPool;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -244,6 +259,83 @@ fn main() -> ExitCode {
         // 1936.9-vs-1077.6 ns/node regression this planner fix removed.
         threads: planned_shards(&par_opts, problem.universe_size),
     });
+
+    // A universe wide enough that the planner grants shards (32 words /
+    // 8-word minimum = 4), on the same graph. On a multi-core host the
+    // shards run concurrently; on a single-core host they serialize and
+    // the row records the true cost of that choice — the gate pins it
+    // either way so the planner's grant threshold can't silently drift.
+    let problem = random_problem(44, &graph, 2048, 0.3);
+    let ns = median_ns(runs, || solve(&graph, &problem, &seq_opts));
+    records.push(BenchRecord {
+        bench: "solve/2048items".to_string(),
+        nodes,
+        items: 2048,
+        ns_per_node: ns / nodes as f64,
+        threads: 1,
+    });
+    let ns = median_ns(runs, || solve_par(&graph, &problem, &par_opts));
+    records.push(BenchRecord {
+        bench: "solve_par/2048items".to_string(),
+        nodes,
+        items: 2048,
+        ns_per_node: ns / nodes as f64,
+        threads: planned_shards(&par_opts, problem.universe_size),
+    });
+
+    // End-to-end pipeline cost for a single program: parse → CFG →
+    // analyze → solve → generate → lint, scratch checked out of the
+    // warm global pool on every call (steady-state service shape).
+    let target = if smoke { 200 } else { 800 };
+    let lint_opts = LintOptions::default();
+    let src = gnt_ir::pretty(&sized_program(target));
+    let (_, report) = lint_source(&src, &lint_opts).expect("sized programs lint");
+    let nodes = report.plan.analysis.graph.num_nodes();
+    let ns = median_ns(runs, || lint_source(&src, &lint_opts).expect("lints"));
+    records.push(BenchRecord {
+        bench: "pipeline/ns_per_node".to_string(),
+        nodes,
+        items: 0,
+        ns_per_node: ns / nodes as f64,
+        threads: 1,
+    });
+
+    // EXP-C5: batch lint throughput on fixed-size pools. ns/node is
+    // normalized to the corpus's total CFG nodes so the 1- and 8-thread
+    // rows compare directly; the printed programs/sec is the service-
+    // level number. On a single-core host the 8-thread row measures
+    // scheduling overhead, not speedup — the baselines record whatever
+    // this machine honestly does.
+    let corpus = if smoke { 16 } else { 64 };
+    let sources: Vec<Source> = (0..corpus)
+        .map(|i| {
+            let program = random_program(i as u64, &GenConfig::default());
+            Source::new(format!("gen{i}.minif"), gnt_ir::pretty(&program))
+        })
+        .collect();
+    let total_nodes: usize = lint_batch_on(&WorkerPool::new(1), &sources, &lint_opts)
+        .iter()
+        .map(|o| {
+            let report = o.result.as_ref().expect("generated programs lint");
+            report.plan.analysis.graph.num_nodes()
+        })
+        .sum();
+    for threads in [1usize, 8] {
+        let pool = WorkerPool::new(threads);
+        let ns = median_ns(runs, || lint_batch_on(&pool, &sources, &lint_opts));
+        records.push(BenchRecord {
+            bench: format!("lint_batch/{threads}threads"),
+            nodes: total_nodes,
+            items: 0,
+            ns_per_node: ns / total_nodes as f64,
+            threads,
+        });
+        println!(
+            "lint_batch/{threads}threads: {corpus} programs in {:.2} ms ({:.1} programs/sec)",
+            ns / 1e6,
+            corpus as f64 / (ns / 1e9)
+        );
+    }
 
     for r in &records {
         println!(

@@ -64,6 +64,7 @@ mod generator;
 mod pressure;
 mod problem;
 mod scratch;
+mod scratch_pool;
 mod shift;
 mod solver;
 mod tape;
@@ -80,6 +81,7 @@ pub use pressure::{
 };
 pub use problem::{Direction, Flavor, PlacementProblem, SolverOptions};
 pub use scratch::SolverScratch;
+pub use scratch_pool::{PooledScratch, ScratchPool};
 pub use shift::{shift_off_synthetic, ShiftReport};
 pub use solver::{
     planned_shards, solve, solve_into, solve_par, solve_with_scratch, ConsumptionVars,

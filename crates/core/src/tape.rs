@@ -935,10 +935,12 @@ pub(crate) fn solve_batch_with_scratch_dir(
     scratch.export()
 }
 
-/// Replays `tape` over `shards` word windows in parallel (one scratch per
-/// shard job, run on the persistent [`gnt_dataflow::global_pool`] rather
-/// than per-call spawned threads) and stitches the windows into `out`,
-/// which must already be shaped for the full universe.
+/// Replays `tape` over `shards` word windows in parallel (one pooled
+/// scratch per shard job — [`crate::ScratchPool::global`] — run on the
+/// persistent [`gnt_dataflow::global_pool`] rather than per-call spawned
+/// threads) and stitches the windows into `out`, which must already be
+/// shaped for the full universe. Steady-state sharded traffic therefore
+/// allocates nothing: the threads are parked, the arenas warm.
 pub(crate) fn execute_sharded(
     tape: &ScheduleTape,
     problem: &PlacementProblem,
@@ -946,12 +948,12 @@ pub(crate) fn execute_sharded(
     out: &mut Solution,
 ) {
     let windows = windows_for(problem.universe_size, shards);
-    let mut results: Vec<Option<(SolverScratch, usize)>> =
+    let mut results: Vec<Option<(crate::PooledScratch<'static>, usize)>> =
         (0..windows.len()).map(|_| None).collect();
     gnt_dataflow::global_pool().scope(|s| {
         for (slot, &win) in results.iter_mut().zip(windows.iter()) {
             s.spawn(move || {
-                let mut scratch = SolverScratch::new();
+                let mut scratch = crate::ScratchPool::global().checkout();
                 tape.execute_window(problem, &mut scratch, win);
                 *slot = Some((scratch, win.word0));
             });
