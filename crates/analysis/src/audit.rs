@@ -368,7 +368,7 @@ mod tests {
         let mut plan = plan;
         use gnt_sections::{Affine, Range};
         let section = |lo: i64, hi: i64| DataRef::Section {
-            array: "x".to_string(),
+            array: "x".into(),
             range: Range {
                 lo: Affine::constant(lo),
                 hi: Affine::constant(hi),

@@ -35,9 +35,11 @@
 //! assert_eq!(batch_exit_code(&outcomes, &[]), 0);
 //! ```
 
+use crate::cache::PipelineCache;
 use crate::driver::{lint_program_with_scratch, LintError, LintOptions, LintReport};
 use gnt_core::ScratchPool;
 use gnt_dataflow::{global_pool, WorkerPool};
+use std::sync::Arc;
 
 /// One named program to lint — typically a file path and its contents.
 #[derive(Clone, Debug)]
@@ -76,8 +78,10 @@ impl Source {
 pub struct LintOutcome {
     /// The [`Source::name`] this outcome belongs to.
     pub name: String,
-    /// The lint report, or the parse/pipeline failure.
-    pub result: Result<LintReport, LintError>,
+    /// The lint report, or the parse/pipeline failure. Reports are
+    /// shared: a batch served from the [`PipelineCache`] hands out the
+    /// same `Arc` the cold run produced.
+    pub result: Result<Arc<LintReport>, LintError>,
 }
 
 impl LintOutcome {
@@ -102,28 +106,58 @@ pub fn batch_exit_code(outcomes: &[LintOutcome], deny: &[String]) -> i32 {
         .unwrap_or(0)
 }
 
-/// Lints every source end to end on the process-wide worker pool and
-/// returns the outcomes in input order. See the module docs for the
+/// Lints every source end to end on the process-wide worker pool,
+/// serving unchanged sources from the process-wide [`PipelineCache`],
+/// and returns the outcomes in input order. See the module docs for the
 /// scheduling and determinism contract.
 pub fn lint_batch(sources: &[Source], opts: &LintOptions) -> Vec<LintOutcome> {
-    lint_batch_on(global_pool(), sources, opts)
+    lint_batch_on_cached(global_pool(), sources, opts, Some(PipelineCache::global()))
 }
 
-/// [`lint_batch`] on a caller-provided pool — the benchmark harness uses
-/// this to compare fixed 1-thread and 8-thread pools on one machine.
+/// [`lint_batch`] on a caller-provided pool, with no cache in front —
+/// the benchmark harness uses this to compare fixed 1-thread and
+/// 8-thread pools on one machine, and to keep its cold-pipeline rows
+/// honest.
 pub fn lint_batch_on(
     pool: &WorkerPool,
     sources: &[Source],
     opts: &LintOptions,
 ) -> Vec<LintOutcome> {
+    lint_batch_on_cached(pool, sources, opts, None)
+}
+
+/// The general batch front-end: a caller-provided pool and an optional
+/// [`PipelineCache`]. Each job first consults the cache (one FNV-1a
+/// hash of the source plus a map probe); on a miss it checks a warm
+/// scratch out of the global [`ScratchPool`], runs the full pipeline,
+/// and publishes the report for the next batch. The diagnostic stream
+/// is byte-identical with and without the cache at any worker count.
+pub fn lint_batch_on_cached(
+    pool: &WorkerPool,
+    sources: &[Source],
+    opts: &LintOptions,
+    cache: Option<&PipelineCache>,
+) -> Vec<LintOutcome> {
     let mut results: Vec<Option<LintOutcome>> = (0..sources.len()).map(|_| None).collect();
     pool.scope(|s| {
         for (slot, source) in results.iter_mut().zip(sources.iter()) {
             s.spawn(move || {
-                let mut scratch = ScratchPool::global().checkout();
-                let result = gnt_ir::parse(&source.text)
-                    .map_err(LintError::Parse)
-                    .and_then(|program| lint_program_with_scratch(&program, opts, &mut scratch));
+                let result = match cache.and_then(|c| c.get(&source.text, opts)) {
+                    Some(report) => Ok(report),
+                    None => {
+                        let mut scratch = ScratchPool::global().checkout();
+                        let fresh = gnt_ir::parse(&source.text)
+                            .map_err(LintError::Parse)
+                            .and_then(|program| {
+                                lint_program_with_scratch(&program, opts, &mut scratch)
+                            })
+                            .map(Arc::new);
+                        if let (Some(c), Ok(report)) = (cache, &fresh) {
+                            c.insert(&source.text, opts, Arc::clone(report));
+                        }
+                        fresh
+                    }
+                };
                 *slot = Some(LintOutcome {
                     name: source.name.clone(),
                     result,

@@ -17,7 +17,7 @@ use gnt_analyze::batch::{batch_exit_code, lint_batch_on, LintOutcome, Source};
 use gnt_analyze::driver::{LintOptions, OutputFormat, ProblemSelect};
 use gnt_analyze::provenance::{run_query, QuerySpec};
 use gnt_analyze::{
-    explain, render_json_batch, render_sarif_batch, render_text, CodeFamily, REGISTRY,
+    explain, render_json_batch, render_sarif_batch, render_text_into, CodeFamily, REGISTRY,
 };
 use std::process::ExitCode;
 
@@ -32,7 +32,11 @@ options:
   --distributed LIST  comma-separated distributed arrays (default: auto-detect)
   --zero-trip         also lint zero-trip executions (reported as warnings)
   --jobs N            lint batches on a dedicated N-worker pool
-                      (default: the shared process pool)
+                      (default: the shared process pool, one worker per
+                      host core — the default never oversubscribes)
+  --profile           emit one JSON line per file to stderr with per-stage
+                      wall-clock timings (parse/cfg/solve/generate/lint ns);
+                      profiled runs lint sequentially and bypass the cache
   --dot PATH          write the interval graph with findings highlighted
                       (Graphviz; single input only)
   --explain CODE      print the registry entry for a diagnostic code
@@ -57,6 +61,7 @@ struct Args {
     dot: Option<String>,
     query: Option<(QuerySpec, bool)>,
     jobs: usize,
+    profile: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -67,6 +72,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         dot: None,
         query: None,
         jobs: 0,
+        profile: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -109,6 +115,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 return Ok(None);
             }
             "--before" => args.opts.select = ProblemSelect::Before,
+            "--profile" => args.profile = true,
             "--after" => args.opts.select = ProblemSelect::After,
             "--zero-trip" => args.opts.zero_trip = true,
             "--deny" => {
@@ -279,9 +286,30 @@ fn main() -> ExitCode {
             }
         }
     }
-    let outcomes = match args.jobs {
-        0 => gnt_analyze::lint_batch(&sources, &args.opts),
-        n => lint_batch_on(&gnt_dataflow::WorkerPool::new(n), &sources, &args.opts),
+    let outcomes = if args.profile {
+        // Stage attribution wants clean per-file numbers: lint
+        // sequentially, skip the pipeline cache, and report each file's
+        // stage breakdown on stderr while stdout stays the normal report.
+        sources
+            .iter()
+            .map(|s| {
+                let result = gnt_analyze::lint_source_timed(&s.text, &args.opts).map(
+                    |(_, report, timings)| {
+                        eprintln!("{}", timings.to_json(&s.name));
+                        std::sync::Arc::new(report)
+                    },
+                );
+                LintOutcome {
+                    name: s.name.clone(),
+                    result,
+                }
+            })
+            .collect()
+    } else {
+        match args.jobs {
+            0 => gnt_analyze::lint_batch(&sources, &args.opts),
+            n => lint_batch_on(&gnt_dataflow::WorkerPool::new(n), &sources, &args.opts),
+        }
     };
 
     let exit = render_outcomes(&args, &sources, &outcomes);
@@ -324,10 +352,16 @@ fn render_outcomes(args: &Args, sources: &[Source], outcomes: &[LintOutcome]) ->
             print!("{}", render_sarif_batch(&entries));
         }
         OutputFormat::Text => {
+            // One rendering buffer for the whole batch: reset per
+            // diagnostic, never shrunk, so steady-state rendering
+            // performs no allocation.
+            let mut buf = String::new();
             for (o, s) in outcomes.iter().zip(sources.iter()) {
                 let Ok(report) = &o.result else { continue };
                 for d in &report.diagnostics {
-                    println!("{}", render_text(d, &o.name, &s.text));
+                    buf.clear();
+                    render_text_into(&mut buf, d, &o.name, &s.text);
+                    println!("{buf}");
                 }
                 let errors = report
                     .diagnostics

@@ -323,8 +323,22 @@ fn line_bounds(src: &str, offset: usize) -> (usize, usize) {
 ///    = note: C2 safety, Figure 5
 /// ```
 pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
-    use std::fmt::Write as _;
     let mut out = String::new();
+    render_text_into(&mut out, diag, file, src);
+    out
+}
+
+/// Decimal digit count of `n` (`0` renders as one digit).
+fn digits(n: u32) -> usize {
+    std::iter::successors(Some(n), |&x| (x >= 10).then_some(x / 10)).count()
+}
+
+/// [`render_text`] appending into a caller-owned buffer. The hot batch
+/// path renders every diagnostic of a job through one reused `String`,
+/// so steady-state rendering allocates nothing; output is byte-for-byte
+/// what [`render_text`] returns.
+pub fn render_text_into(out: &mut String, diag: &Diagnostic, file: &str, src: &str) {
+    use std::fmt::Write as _;
     let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
     match diag.primary_span {
         Some(span) => {
@@ -332,25 +346,25 @@ pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
             let _ = writeln!(out, "  --> {file}:{line}:{col}");
             let (ls, le) = line_bounds(src, span.start as usize);
             let text = &src[ls..le];
-            let gutter = line.to_string().len().max(2);
+            let gutter = digits(line).max(2);
             let _ = writeln!(out, "{:>gutter$} |", "");
             let _ = writeln!(out, "{line:>gutter$} | {text}");
             let caret_start = span.start as usize - ls;
             let caret_len = (span.end as usize)
                 .min(le)
                 .saturating_sub(span.start as usize);
-            let _ = writeln!(
-                out,
-                "{:>gutter$} | {}{}",
-                "",
-                " ".repeat(text[..caret_start].chars().count()),
-                "^".repeat(
-                    text[caret_start..caret_start + caret_len]
-                        .chars()
-                        .count()
-                        .max(1)
-                ),
-            );
+            let _ = write!(out, "{:>gutter$} | ", "");
+            for _ in text[..caret_start].chars() {
+                out.push(' ');
+            }
+            let carets = text[caret_start..caret_start + caret_len]
+                .chars()
+                .count()
+                .max(1);
+            for _ in 0..carets {
+                out.push('^');
+            }
+            out.push('\n');
         }
         None => {
             let _ = match diag.node {
@@ -363,25 +377,34 @@ pub fn render_text(diag: &Diagnostic, file: &str, src: &str) -> String {
         let _ = writeln!(out, "   = note: {note}");
     }
     for r in &diag.related {
-        let loc = match (r.span, r.node) {
+        let _ = write!(out, "   = {}", r.message);
+        match (r.span, r.node) {
             (Some(span), _) => {
                 let (line, col) = span.start_line_col(src);
-                format!(" ({file}:{line}:{col})")
+                let _ = write!(out, " ({file}:{line}:{col})");
             }
-            (None, Some(n)) => format!(" (node {n})"),
-            (None, None) => String::new(),
-        };
-        let _ = writeln!(out, "   = {}{loc}", r.message);
+            (None, Some(n)) => {
+                let _ = write!(out, " (node {n})");
+            }
+            (None, None) => {}
+        }
+        out.push('\n');
     }
     if let Some(info) = explain(diag.code) {
         let _ = writeln!(out, "   = note: {}", info.reference);
     }
-    out
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    json_escape_into(&mut out, s);
+    out
+}
+
+/// [`json_escape`] appending into a caller-owned buffer.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -390,12 +413,11 @@ pub(crate) fn json_escape(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
-    out
 }
 
 /// Renders all diagnostics as a JSON array (machine-readable output for
@@ -429,12 +451,13 @@ fn write_json_diag(out: &mut String, d: &Diagnostic, file: &str, src: &str, firs
         }
         let _ = write!(
             out,
-            "\n  {{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"file\":\"{}\"",
-            d.code,
-            d.severity,
-            json_escape(&d.message),
-            json_escape(file),
+            "\n  {{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"",
+            d.code, d.severity
         );
+        json_escape_into(out, &d.message);
+        out.push_str("\",\"file\":\"");
+        json_escape_into(out, file);
+        out.push('"');
         if let Some(span) = d.primary_span {
             let (line, col) = span.start_line_col(src);
             let _ = write!(
@@ -454,7 +477,9 @@ fn write_json_diag(out: &mut String, d: &Diagnostic, file: &str, src: &str, firs
             if j > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{}\"", json_escape(note));
+            out.push('"');
+            json_escape_into(out, note);
+            out.push('"');
         }
         out.push(']');
         if !d.related.is_empty() {
@@ -463,7 +488,9 @@ fn write_json_diag(out: &mut String, d: &Diagnostic, file: &str, src: &str, firs
                 if j > 0 {
                     out.push(',');
                 }
-                let _ = write!(out, "{{\"message\":\"{}\"", json_escape(&r.message));
+                out.push_str("{\"message\":\"");
+                json_escape_into(out, &r.message);
+                out.push('"');
                 if let Some(span) = r.span {
                     let (line, col) = span.start_line_col(src);
                     let _ = write!(

@@ -8,7 +8,7 @@ use crate::audit::{audit_placement, audit_plan, AuditOptions};
 use crate::comm_lint::{lint_plan, CommLintOptions};
 use crate::diag::{attach_spans, Diagnostic, Severity};
 use crate::invariants::lint_graph;
-use crate::placement::{lint_placement, PlacementLintOptions};
+use crate::placement::{lint_placement_with_scratch, PlacementLintOptions};
 use crate::provenance::{chain_trail, why_not_trail};
 use gnt_cfg::{node_spans, reversed_graph, DotOverlay};
 use gnt_comm::{analyze, generate_with_options, CommConfig, CommPlan, GenerateOptions};
@@ -138,7 +138,7 @@ pub fn detect_distributed(program: &Program) -> Vec<String> {
         match &stmt.kind {
             StmtKind::Assign { lhs, rhs } => {
                 if let gnt_ir::LValue::Element(name, idx) = lhs {
-                    add(name);
+                    add(name.as_str());
                     exprs.push(idx);
                 }
                 exprs.push(rhs);
@@ -149,7 +149,7 @@ pub fn detect_distributed(program: &Program) -> Vec<String> {
         }
         for e in exprs {
             for (name, _) in e.subscripted_refs() {
-                add(name);
+                add(name.as_str());
             }
         }
     }
@@ -180,6 +180,51 @@ fn enrich(d: &mut Diagnostic, engine: &BlameEngine<'_>, item_names: &[String]) {
     } else if let Some(wn) = engine.why_not(var, node, item) {
         d.related.extend(why_not_trail(&wn, &name));
     }
+}
+
+/// Wall-clock nanoseconds spent in each pipeline stage, produced by
+/// [`lint_source_timed`] for `gnt-lint --profile`. "cfg" covers lowering
+/// and interval-graph assembly plus the communication analysis that
+/// walks them; "lint" is everything not attributed to another stage
+/// (invariant layers, audits, blame enrichment, span attachment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Source → AST.
+    pub parse_ns: u64,
+    /// AST → CFG → interval graph → communication analysis.
+    pub cfg_ns: u64,
+    /// READ/WRITE placement solves.
+    pub solve_ns: u64,
+    /// Communication plan generation.
+    pub generate_ns: u64,
+    /// Lint layers, audits, blame, span attachment.
+    pub lint_ns: u64,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.parse_ns + self.cfg_ns + self.solve_ns + self.generate_ns + self.lint_ns
+    }
+
+    /// One JSON object (no trailing newline), the `--profile` line.
+    pub fn to_json(&self, file: &str) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"parse_ns\":{},\"cfg_ns\":{},\"solve_ns\":{},\
+             \"generate_ns\":{},\"lint_ns\":{},\"total_ns\":{}}}",
+            crate::diag::json_escape(file),
+            self.parse_ns,
+            self.cfg_ns,
+            self.solve_ns,
+            self.generate_ns,
+            self.lint_ns,
+            self.total_ns(),
+        )
+    }
+}
+
+fn elapsed_ns(from: std::time::Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Lints `program` end to end and returns every finding with source
@@ -213,15 +258,33 @@ pub fn lint_program_with_scratch(
     opts: &LintOptions,
     scratch: &mut gnt_core::SolverScratch,
 ) -> Result<LintReport, LintError> {
+    lint_program_inner(program, opts, scratch, &mut StageTimings::default())
+}
+
+/// The pipeline body. Stage boundaries are timed into `timings` (the
+/// `Instant` reads cost nanoseconds against millisecond stages, so the
+/// untimed entry points share this body rather than duplicating it);
+/// `lint_ns` is the run's remainder after the attributed stages.
+fn lint_program_inner(
+    program: &Program,
+    opts: &LintOptions,
+    scratch: &mut gnt_core::SolverScratch,
+    timings: &mut StageTimings,
+) -> Result<LintReport, LintError> {
+    let run_start = std::time::Instant::now();
     let distributed = opts
         .distributed
         .clone()
         .unwrap_or_else(|| detect_distributed(program));
     let refs: Vec<&str> = distributed.iter().map(String::as_str).collect();
+    let stage = std::time::Instant::now();
     let analysis = analyze(program, &CommConfig::distributed(&refs))
         .map_err(|e| LintError::Pipeline(e.to_string()))?;
+    timings.cfg_ns = elapsed_ns(stage);
+    let stage = std::time::Instant::now();
     let plan = generate_with_options(analysis, &GenerateOptions::default(), scratch)
         .map_err(|e| LintError::Pipeline(e.to_string()))?;
+    timings.generate_ns = elapsed_ns(stage);
     let graph = &plan.analysis.graph;
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
@@ -248,12 +311,14 @@ pub fn lint_program_with_scratch(
     // and WRITE solves below share one scratch arena.
     let solver_opts = SolverOptions::default();
     if opts.select != ProblemSelect::After {
+        let stage = std::time::Instant::now();
         let mut sol = gnt_core::solve_batch_with_scratch(
             graph,
             &plan.analysis.read_problem,
             &SolverOptions::default(),
             scratch,
         );
+        timings.solve_ns += elapsed_ns(stage);
         shift_off_synthetic(graph, &mut sol.eager);
         shift_off_synthetic(graph, &mut sol.lazy);
         let popts = PlacementLintOptions {
@@ -261,12 +326,13 @@ pub fn lint_program_with_scratch(
             item_names: item_names.clone(),
             ..Default::default()
         };
-        let mut found = lint_placement(
+        let mut found = lint_placement_with_scratch(
             graph,
             &plan.analysis.read_problem,
             &sol.eager,
             &sol.lazy,
             &popts,
+            scratch,
         );
         // Audits: silent on the solver's own placement by construction,
         // but the pass is wired so library callers auditing hand-made
@@ -293,12 +359,15 @@ pub fn lint_program_with_scratch(
     // The WRITE (AFTER) problem is solved on the reversed graph; check
     // its criteria over the reversed flow like the core verifiers do.
     if opts.select != ProblemSelect::Before {
-        match gnt_core::solve_after_with_scratch(
+        let stage = std::time::Instant::now();
+        let solved_after = gnt_core::solve_after_with_scratch(
             graph,
             &plan.analysis.write_problem,
             &SolverOptions::default(),
             scratch,
-        ) {
+        );
+        timings.solve_ns += elapsed_ns(stage);
+        match solved_after {
             Ok(after) => {
                 let mut problem = plan.analysis.write_problem.clone();
                 problem.resize_nodes(after.reversed.num_nodes());
@@ -352,6 +421,8 @@ pub fn lint_program_with_scratch(
             d.node.map_or(usize::MAX, gnt_cfg::NodeId::index),
         )
     });
+    timings.lint_ns = elapsed_ns(run_start)
+        .saturating_sub(timings.cfg_ns + timings.generate_ns + timings.solve_ns);
     Ok(LintReport { diagnostics, plan })
 }
 
@@ -365,4 +436,24 @@ pub fn lint_source(src: &str, opts: &LintOptions) -> Result<(Program, LintReport
     let program = gnt_ir::parse(src).map_err(LintError::Parse)?;
     let report = lint_program(&program, opts)?;
     Ok((program, report))
+}
+
+/// [`lint_source`] with per-stage wall-clock attribution — the engine
+/// behind `gnt-lint --profile`. Always runs the pipeline (no cache), so
+/// the timings describe real stage work.
+///
+/// # Errors
+///
+/// Fails on parse errors and pipeline failures (see [`lint_program`]).
+pub fn lint_source_timed(
+    src: &str,
+    opts: &LintOptions,
+) -> Result<(Program, LintReport, StageTimings), LintError> {
+    let mut timings = StageTimings::default();
+    let stage = std::time::Instant::now();
+    let program = gnt_ir::parse(src).map_err(LintError::Parse)?;
+    timings.parse_ns = elapsed_ns(stage);
+    let mut scratch = gnt_core::ScratchPool::global().checkout();
+    let report = lint_program_inner(&program, opts, &mut scratch, &mut timings)?;
+    Ok((program, report, timings))
 }

@@ -62,6 +62,7 @@
 
 pub mod audit;
 pub mod batch;
+pub mod cache;
 pub mod comm_lint;
 pub mod diag;
 pub mod driver;
@@ -71,14 +72,18 @@ pub mod provenance;
 pub mod sarif;
 
 pub use audit::{audit_placement, audit_plan, AuditOptions};
-pub use batch::{batch_exit_code, lint_batch, lint_batch_on, LintOutcome, Source};
+pub use batch::{
+    batch_exit_code, lint_batch, lint_batch_on, lint_batch_on_cached, LintOutcome, Source,
+};
+pub use cache::{CacheStats, PipelineCache};
 pub use comm_lint::{lint_plan, CommLintOptions};
 pub use diag::{
-    attach_spans, explain, render_json, render_json_batch, render_text, CodeFamily, Diagnostic,
-    RelatedInfo, Severity, REGISTRY,
+    attach_spans, explain, render_json, render_json_batch, render_text, render_text_into,
+    CodeFamily, Diagnostic, RelatedInfo, Severity, REGISTRY,
 };
 pub use driver::{
-    lint_program, lint_program_with_scratch, lint_source, LintError, LintOptions, LintReport,
+    lint_program, lint_program_with_scratch, lint_source, lint_source_timed, LintError,
+    LintOptions, LintReport, StageTimings,
 };
 pub use invariants::lint_graph;
 pub use placement::{lint_placement, PlacementLintOptions};

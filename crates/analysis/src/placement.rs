@@ -14,7 +14,8 @@ use crate::diag::Diagnostic;
 use gnt_cfg::{CfgFlow, IntervalGraph, NodeId};
 use gnt_core::{
     check_balance, check_path, check_sufficiency, enumerate_paths, path_has_zero_trip,
-    shift_off_synthetic, solve, FlavorSolution, PlacementProblem, SolverOptions, Violation,
+    shift_off_synthetic, solve_batch_with_scratch, FlavorSolution, PlacementProblem, ScratchPool,
+    SolverOptions, SolverScratch, Violation,
 };
 use gnt_dataflow::{BitSet, Direction, FlowGraph, GenKillProblem, Meet};
 use std::collections::BTreeSet;
@@ -156,6 +157,22 @@ pub fn lint_placement(
     eager: &FlavorSolution,
     lazy: &FlavorSolution,
     opts: &PlacementLintOptions,
+) -> Vec<Diagnostic> {
+    let mut scratch = ScratchPool::global().checkout();
+    lint_placement_with_scratch(graph, problem, eager, lazy, opts, &mut scratch)
+}
+
+/// [`lint_placement`] with a caller-provided solver scratch: the
+/// optimality comparison (O2/O3/O3') re-solves the same problem, so a
+/// scratch whose tape cache is already warm for `graph` (e.g. the one the
+/// driver just solved with) turns that re-solve into a cached replay.
+pub fn lint_placement_with_scratch(
+    graph: &IntervalGraph,
+    problem: &PlacementProblem,
+    eager: &FlavorSolution,
+    lazy: &FlavorSolution,
+    opts: &PlacementLintOptions,
+    scratch: &mut SolverScratch,
 ) -> Vec<Diagnostic> {
     let mut out: Vec<Diagnostic> = Vec::new();
     let mut seen = BTreeSet::new();
@@ -391,7 +408,7 @@ pub fn lint_placement(
     // Optimality (O2/O3/O3') — only meaningful for placements that are
     // otherwise clean, and compared against the solver's own optimum.
     if opts.check_optimality && out.is_empty() {
-        let mut opt = solve(graph, problem, &opts.solver_options);
+        let mut opt = solve_batch_with_scratch(graph, problem, &opts.solver_options, scratch);
         shift_off_synthetic(graph, &mut opt.eager);
         shift_off_synthetic(graph, &mut opt.lazy);
         for item in 0..cap {

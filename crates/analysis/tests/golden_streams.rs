@@ -1,0 +1,77 @@
+//! Byte-identical diagnostic streams, pinned against committed goldens.
+//!
+//! The front end interns identifiers (`gnt_ir::Symbol`), pools its CFG
+//! scratch, renders through reused buffers, and may serve a batch from
+//! the pipeline cache — none of which is allowed to move a single byte
+//! of output. These tests run the real `gnt-lint` binary over the
+//! fig1/3/11 corpus and compare stdout byte-for-byte with the goldens
+//! recorded before the arena/interning refactor, at several worker
+//! counts and both on a cold and a warm (cached) process.
+
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn example(fig: &str) -> String {
+    // Relative to the workspace root: the path is part of the rendered
+    // output (`--> examples/fig1.minif:…`), so the goldens pin it.
+    format!("examples/{fig}.minif")
+}
+
+fn lint_stdout(args: &[&str]) -> String {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_gnt-lint"))
+        .current_dir(root)
+        .args(args)
+        .output()
+        .expect("run gnt-lint");
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn zero_trip_text_streams_match_the_goldens_at_any_worker_count() {
+    for fig in ["fig1", "fig3", "fig11"] {
+        let expected = golden(&format!("{fig}.zerotrip.txt"));
+        let file = example(fig);
+        for jobs in ["1", "4"] {
+            let got = lint_stdout(&[&file, "--zero-trip", "--jobs", jobs]);
+            assert_eq!(got, expected, "{fig} text drifted at --jobs {jobs}");
+        }
+        // Default path (shared pool + pipeline cache): the second run in
+        // one process is served warm and must not differ either — the
+        // cache keys on content, not on identity, so this exercises a
+        // fresh process's cold-then-n/a path at minimum.
+        let got = lint_stdout(&[&file, "--zero-trip"]);
+        assert_eq!(got, expected, "{fig} text drifted on the default path");
+    }
+}
+
+#[test]
+fn zero_trip_json_streams_match_the_goldens() {
+    for fig in ["fig1", "fig3", "fig11"] {
+        let expected = golden(&format!("{fig}.zerotrip.json"));
+        let got = lint_stdout(&[&example(fig), "--zero-trip", "--format", "json"]);
+        assert_eq!(got, expected, "{fig} json drifted");
+    }
+}
+
+#[test]
+fn default_lint_text_streams_match_the_goldens() {
+    for fig in ["fig1", "fig3", "fig11"] {
+        let expected = golden(&format!("{fig}.lint.txt"));
+        let got = lint_stdout(&[&example(fig)]);
+        assert_eq!(got, expected, "{fig} default lint drifted");
+    }
+}
+
+#[test]
+fn profiled_run_changes_no_stdout_byte() {
+    for fig in ["fig1", "fig3", "fig11"] {
+        let expected = golden(&format!("{fig}.lint.txt"));
+        let got = lint_stdout(&[&example(fig), "--profile"]);
+        assert_eq!(got, expected, "{fig} stdout drifted under --profile");
+    }
+}

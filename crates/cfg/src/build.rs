@@ -7,6 +7,7 @@
 //! patched once all targets are known.
 
 use crate::graph::{Cfg, NodeId, NodeKind, SynthKind};
+use crate::scratch::{CfgScratch, CfgScratchPool};
 use gnt_ir::{Label, Program, StmtId, StmtKind};
 use std::collections::HashMap;
 use std::fmt;
@@ -63,12 +64,21 @@ impl LoweredCfg {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn lower(program: &Program) -> Result<LoweredCfg, BuildError> {
+    let mut scratch = CfgScratchPool::global().checkout();
+    lower_with(program, &mut scratch)
+}
+
+/// [`lower`] with caller-provided scratch buffers; the pooled entry
+/// points route through here.
+pub fn lower_with(program: &Program, scratch: &mut CfgScratch) -> Result<LoweredCfg, BuildError> {
+    scratch.label_node.clear();
+    scratch.pending_gotos.clear();
     let mut b = Builder {
         program,
         cfg: Cfg::new(),
         node_of_stmt: HashMap::new(),
-        label_node: HashMap::new(),
-        pending_gotos: Vec::new(),
+        label_node: &mut scratch.label_node,
+        pending_gotos: &mut scratch.pending_gotos,
     };
     let entry = b.cfg.entry();
     let ends = b.seq(program.body(), vec![entry]);
@@ -76,7 +86,7 @@ pub fn lower(program: &Program) -> Result<LoweredCfg, BuildError> {
     for e in ends {
         b.cfg.add_edge(e, exit);
     }
-    for (src, label) in std::mem::take(&mut b.pending_gotos) {
+    for &(src, label) in b.pending_gotos.iter() {
         let Some(&dst) = b.label_node.get(&label) else {
             return Err(BuildError::UnknownLabel(label));
         };
@@ -96,8 +106,8 @@ struct Builder<'a> {
     program: &'a Program,
     cfg: Cfg,
     node_of_stmt: HashMap<StmtId, NodeId>,
-    label_node: HashMap<Label, NodeId>,
-    pending_gotos: Vec<(NodeId, Label)>,
+    label_node: &'a mut HashMap<Label, NodeId>,
+    pending_gotos: &'a mut Vec<(NodeId, Label)>,
 }
 
 impl Builder<'_> {

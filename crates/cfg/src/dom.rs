@@ -9,6 +9,7 @@
 //! node splitting ([`make_reducible`]), as the paper suggests via [CM69].
 
 use crate::graph::{Cfg, NodeId};
+use crate::scratch::CfgScratch;
 use std::fmt;
 
 /// Immediate-dominator tree for a [`Cfg`].
@@ -23,11 +24,24 @@ pub struct Dominators {
 impl Dominators {
     /// Computes dominators for all nodes reachable from the entry.
     pub fn compute(cfg: &Cfg) -> Dominators {
+        Dominators::compute_with(cfg, &mut CfgScratch::new())
+    }
+
+    /// [`Dominators::compute`] with caller-provided scratch buffers.
+    /// The result's tables are built in (recycled) scratch storage;
+    /// hand them back with [`Dominators::recycle`] once done.
+    pub fn compute_with(cfg: &Cfg, scratch: &mut CfgScratch) -> Dominators {
         let n = cfg.num_nodes();
-        // Postorder DFS from the entry.
-        let mut post: Vec<NodeId> = Vec::with_capacity(n);
-        let mut state = vec![0u8; n]; // 0 = unseen, 1 = open, 2 = done
-        let mut stack: Vec<(NodeId, usize)> = vec![(cfg.entry(), 0)];
+        // Postorder DFS from the entry; reversed in place below.
+        let mut post = std::mem::take(&mut scratch.rpo);
+        post.clear();
+        post.reserve(n);
+        let state = &mut scratch.state;
+        state.clear();
+        state.resize(n, 0); // 0 = unseen, 1 = open, 2 = done
+        let stack = &mut scratch.dfs;
+        stack.clear();
+        stack.push((cfg.entry(), 0));
         state[cfg.entry().index()] = 1;
         while let Some(&mut (node, ref mut next)) = stack.last_mut() {
             let succs = cfg.succs(node);
@@ -44,13 +58,18 @@ impl Dominators {
                 stack.pop();
             }
         }
-        let rpo: Vec<NodeId> = post.into_iter().rev().collect();
-        let mut rpo_index = vec![usize::MAX; n];
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = std::mem::take(&mut scratch.rpo_index);
+        rpo_index.clear();
+        rpo_index.resize(n, usize::MAX);
         for (i, &node) in rpo.iter().enumerate() {
             rpo_index[node.index()] = i;
         }
 
-        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        let mut idom = std::mem::take(&mut scratch.idom);
+        idom.clear();
+        idom.resize(n, None);
         idom[cfg.entry().index()] = Some(cfg.entry());
         let mut changed = true;
         while changed {
@@ -77,6 +96,14 @@ impl Dominators {
             rpo_index,
             rpo,
         }
+    }
+
+    /// Returns the dominator tables to `scratch` for the next
+    /// [`Dominators::compute_with`] call to reuse.
+    pub fn recycle(self, scratch: &mut CfgScratch) {
+        scratch.idom = self.idom;
+        scratch.rpo_index = self.rpo_index;
+        scratch.rpo = self.rpo;
     }
 
     /// The immediate dominator of `n` (the entry dominates itself).

@@ -20,6 +20,7 @@
 
 use crate::dom::{Dominators, IrreducibleError, LoopForest, LoopId};
 use crate::graph::{Cfg, NodeId, NodeKind, SynthKind};
+use crate::scratch::{CfgScratch, CfgScratchPool};
 use std::fmt;
 
 /// Classification of an interval-flow-graph edge (§3.3).
@@ -270,12 +271,24 @@ impl IntervalGraph {
     ///
     /// Returns [`GraphError::Irreducible`] if `cfg` is irreducible (use
     /// [`crate::make_reducible`] first if desired).
-    pub fn from_cfg(mut cfg: Cfg) -> Result<IntervalGraph, GraphError> {
+    pub fn from_cfg(cfg: Cfg) -> Result<IntervalGraph, GraphError> {
+        let mut scratch = CfgScratchPool::global().checkout();
+        Self::from_cfg_with(cfg, &mut scratch)
+    }
+
+    /// [`IntervalGraph::from_cfg`] with caller-provided scratch buffers
+    /// (dominator tables and assembly worklists are reused across calls).
+    pub fn from_cfg_with(
+        mut cfg: Cfg,
+        scratch: &mut CfgScratch,
+    ) -> Result<IntervalGraph, GraphError> {
         cfg.prune_unreachable();
-        let dom = Dominators::compute(&cfg);
-        let mut forest = LoopForest::compute(&cfg, &dom)?;
+        let dom = Dominators::compute_with(&cfg, scratch);
+        let forest = LoopForest::compute(&cfg, &dom);
+        dom.recycle(scratch);
+        let mut forest = forest?;
         normalize(&mut cfg, &mut forest);
-        Self::assemble(&cfg, &forest, false)
+        Self::assemble_with(&cfg, &forest, false, scratch)
     }
 
     /// Builds the graph from a CFG plus an externally supplied loop
@@ -286,6 +299,16 @@ impl IntervalGraph {
         cfg: &Cfg,
         forest: &LoopForest,
         allow_jump_in: bool,
+    ) -> Result<IntervalGraph, GraphError> {
+        let mut scratch = CfgScratchPool::global().checkout();
+        Self::assemble_with(cfg, forest, allow_jump_in, &mut scratch)
+    }
+
+    pub(crate) fn assemble_with(
+        cfg: &Cfg,
+        forest: &LoopForest,
+        allow_jump_in: bool,
+        scratch: &mut CfgScratch,
     ) -> Result<IntervalGraph, GraphError> {
         let n = cfg.num_nodes();
         let root = cfg.entry();
@@ -388,7 +411,9 @@ impl IntervalGraph {
         // Preorder: topological over E/F/J/S (+JumpIn) edges, skipping the
         // CYCLE edges; ties broken by ascending node id (construction
         // order, which follows the source).
-        let mut indeg = vec![0usize; n];
+        let indeg = &mut scratch.indeg;
+        indeg.clear();
+        indeg.resize(n, 0);
         for (i, ps) in preds.iter().enumerate() {
             indeg[i] = ps.iter().filter(|(_, c)| *c != EdgeClass::Cycle).count();
         }

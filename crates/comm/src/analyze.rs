@@ -11,7 +11,7 @@
 use gnt_cfg::{lower, IntervalGraph, NodeId};
 use gnt_core::PlacementProblem;
 use gnt_dataflow::{ItemId, Universe};
-use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind};
+use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind, Symbol};
 use gnt_sections::{normalize_ref, DataRef, LoopContext};
 use std::collections::HashMap;
 
@@ -53,7 +53,7 @@ struct Accesses {
     acc_ops: Vec<(ItemId, gnt_ir::BinOp)>,
     /// Names of scalars/arrays (re)defined by the statement that are not
     /// distributed (candidate indirection or bound variables).
-    local_defs: Vec<String>,
+    local_defs: Vec<Symbol>,
 }
 
 /// The communication analysis: graph, universe of array portions, and the
@@ -200,10 +200,10 @@ pub fn analyze(
             // Redefining an indirection array or a bound variable voids
             // every portion whose meaning depends on it (§4.1).
             for (other, oref) in &items {
-                let invalidated = oref.depends_on_index_array(name)
+                let invalidated = oref.depends_on_index_array(*name)
                     || match oref {
                         DataRef::Section { range, .. } => {
-                            range.lo.coeff(name) != 0 || range.hi.coeff(name) != 0
+                            range.lo.coeff(*name) != 0 || range.hi.coeff(*name) != 0
                         }
                         _ => false,
                     };
@@ -227,14 +227,14 @@ pub fn analyze(
 
 /// If `rhs` is `name(idx) ⊕ rest` or `rest ⊕ name(idx)` for a commutative
 /// operator, returns the operator.
-fn accumulation_op(name: &str, idx: &Expr, rhs: &Expr) -> Option<gnt_ir::BinOp> {
+fn accumulation_op(name: Symbol, idx: &Expr, rhs: &Expr) -> Option<gnt_ir::BinOp> {
     let Expr::Bin(op, l, r) = rhs else {
         return None;
     };
     if !matches!(op, gnt_ir::BinOp::Add | gnt_ir::BinOp::Mul) {
         return None;
     }
-    let is_self = |e: &Expr| matches!(e, Expr::Elem(n, i) if n == name && **i == *idx);
+    let is_self = |e: &Expr| matches!(e, Expr::Elem(n, i) if *n == name && **i == *idx);
     if is_self(l) || is_self(r) {
         Some(*op)
     } else {
@@ -258,18 +258,18 @@ fn collect(
                 // that read is recorded separately so it can be elided
                 // when the item is communicated as a reduction.
                 let acc_op = match lhs {
-                    LValue::Element(name, idx) if config.is_distributed(name) => {
-                        accumulation_op(name, idx, rhs)
+                    LValue::Element(name, idx) if config.is_distributed(name.as_str()) => {
+                        accumulation_op(*name, idx, rhs)
                     }
                     _ => None,
                 };
                 match (acc_op, lhs) {
                     (Some(op), LValue::Element(name, idx)) => {
                         // Collect non-self reads only.
-                        let self_ref = Expr::Elem(name.clone(), Box::new(idx.clone()));
+                        let self_ref = Expr::Elem(*name, Box::new(idx.clone()));
                         for (array, sub) in rhs.subscripted_refs() {
-                            if config.is_distributed(array) {
-                                let full = Expr::Elem(array.to_string(), Box::new(sub.clone()));
+                            if config.is_distributed(array.as_str()) {
+                                let full = Expr::Elem(array, Box::new(sub.clone()));
                                 let item = universe.intern(normalize_ref(array, sub, ctx));
                                 if full == self_ref {
                                     acc.acc_reads.push(item);
@@ -279,7 +279,7 @@ fn collect(
                             }
                         }
                         collect_reads(idx, config, ctx, universe, &mut acc);
-                        let d = universe.intern(normalize_ref(name, idx, ctx));
+                        let d = universe.intern(normalize_ref(*name, idx, ctx));
                         acc.defs.push(d);
                         acc.acc_ops.push((d, op));
                     }
@@ -290,14 +290,14 @@ fn collect(
                                 // Subscript reads happen regardless of the
                                 // target.
                                 collect_reads(idx, config, ctx, universe, &mut acc);
-                                if config.is_distributed(name) {
-                                    let d = normalize_ref(name, idx, ctx);
+                                if config.is_distributed(name.as_str()) {
+                                    let d = normalize_ref(*name, idx, ctx);
                                     acc.defs.push(universe.intern(d));
                                 } else {
-                                    acc.local_defs.push(name.clone());
+                                    acc.local_defs.push(*name);
                                 }
                             }
-                            LValue::Scalar(name) => acc.local_defs.push(name.clone()),
+                            LValue::Scalar(name) => acc.local_defs.push(*name),
                             LValue::Opaque => {}
                         }
                     }
@@ -310,7 +310,7 @@ fn collect(
                 collect_reads(lo, config, ctx, universe, &mut acc);
                 collect_reads(hi, config, ctx, universe, &mut acc);
                 accesses.insert(sid, acc);
-                ctx.push(var.clone(), lo, hi);
+                ctx.push(*var, lo, hi);
                 collect(program, body, config, ctx, universe, accesses);
                 ctx.pop();
             }
@@ -343,7 +343,7 @@ fn collect_reads(
     acc: &mut Accesses,
 ) {
     for (array, idx) in expr.subscripted_refs() {
-        if config.is_distributed(array) {
+        if config.is_distributed(array.as_str()) {
             let r = normalize_ref(array, idx, ctx);
             acc.reads.push(universe.intern(r));
         }

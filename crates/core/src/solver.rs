@@ -231,25 +231,34 @@ fn threads_available() -> usize {
 /// How many word shards to use. `force` is the [`solve_par`] entry; the
 /// pure planning rule lives in [`plan_shards`].
 pub(crate) fn shard_count(opts: &SolverOptions, words: usize, force: bool) -> usize {
+    let avail = threads_available();
     let requested = match opts.parallelism {
-        0 => threads_available(),
+        0 => avail,
         p => p,
     };
-    plan_shards(requested, words, force || opts.parallelism >= 2)
+    plan_shards(requested, avail, words, force || opts.parallelism >= 2)
 }
 
 /// The shard planner: how many word-aligned shards `requested` threads
-/// get over a `words`-wide universe. Forced parallelism applies the
-/// [`MIN_WORDS_PER_SHARD`] floor, auto mode the stricter
-/// [`AUTO_WORDS_PER_SHARD`] threshold; either way a plan of `1` means the
-/// sequential path runs.
-fn plan_shards(requested: usize, words: usize, force: bool) -> usize {
+/// get over a `words`-wide universe with `avail` hardware threads.
+/// Forced parallelism applies the [`MIN_WORDS_PER_SHARD`] floor, auto
+/// mode the stricter [`AUTO_WORDS_PER_SHARD`] threshold; either way a
+/// plan of `1` means the sequential path runs.
+///
+/// The plan never exceeds `avail`, explicit request or not: shards run
+/// on spawned threads, so planning past the hardware serializes them
+/// and adds spawn/stitch overhead for nothing. The committed benchmark
+/// caught exactly this — `solve_par` at 2048 items (32 words, clearing
+/// the word floor at 4 shards) ran 18% slower than sequential on a
+/// single-core host (9294 vs 7904 ns/node) until the plan was gated on
+/// [`threads_available`].
+fn plan_shards(requested: usize, avail: usize, words: usize, force: bool) -> usize {
     let per_shard = if force {
         MIN_WORDS_PER_SHARD
     } else {
         AUTO_WORDS_PER_SHARD
     };
-    requested.min(words / per_shard).max(1)
+    requested.min(avail).min(words / per_shard).max(1)
 }
 
 /// The number of shards [`solve_par`] would actually run for this options
@@ -360,11 +369,11 @@ pub fn solve_with_scratch(
 /// data-independent, the result is **bit-identical** to the sequential
 /// [`solve`] (the differential proptests lock this). The shard count
 /// comes from [`SolverOptions::parallelism`] (`0` = one shard per
-/// available core) clamped so that every shard covers at least
-/// [`MIN_WORDS_PER_SHARD`] words of the universe; universes too narrow to
-/// give each thread that much kernel work (≤ 1023 items for two shards)
-/// fall back to the sequential path, which is faster there — see
-/// [`planned_shards`] for the decision.
+/// available core) clamped to the host's hardware threads and so that
+/// every shard covers at least [`MIN_WORDS_PER_SHARD`] words of the
+/// universe; universes too narrow to give each thread that much kernel
+/// work (≤ 1023 items for two shards) fall back to the sequential path,
+/// which is faster there — see [`planned_shards`] for the decision.
 ///
 /// # Panics
 ///
@@ -1044,22 +1053,29 @@ mod tests {
         // threads running 1.8× slower than sequential because each shard
         // got a single word. Forced parallelism must fall back to the
         // sequential path until every shard clears the floor.
-        assert_eq!(plan_shards(4, 4, true), 1, "the regression shape");
-        assert_eq!(plan_shards(4, 15, true), 1);
-        assert_eq!(plan_shards(4, 16, true), 2);
-        assert_eq!(plan_shards(4, 64, true), 4);
-        assert_eq!(plan_shards(2, 64, true), 2, "request stays a cap");
+        assert_eq!(plan_shards(4, 4, 4, true), 1, "the regression shape");
+        assert_eq!(plan_shards(4, 4, 15, true), 1);
+        assert_eq!(plan_shards(4, 4, 16, true), 2);
+        assert_eq!(plan_shards(4, 4, 64, true), 4);
+        assert_eq!(plan_shards(2, 4, 64, true), 2, "request stays a cap");
         // Auto mode keeps its stricter threshold.
-        assert_eq!(plan_shards(4, 31, false), 1);
-        assert_eq!(plan_shards(4, 32, false), 2);
-        assert_eq!(plan_shards(8, 1024, false), 8);
-        // And the public probe agrees (256 items = 4 words).
+        assert_eq!(plan_shards(4, 4, 31, false), 1);
+        assert_eq!(plan_shards(4, 4, 32, false), 2);
+        assert_eq!(plan_shards(8, 8, 1024, false), 8);
+        // Hardware gates the plan even for explicit requests: on a
+        // single-core host a forced 4-way request serializes, so the
+        // planner refuses it (the solve_par/2048items regression shape).
+        assert_eq!(plan_shards(4, 1, 64, true), 1);
+        assert_eq!(plan_shards(4, 2, 64, true), 2);
+        assert_eq!(plan_shards(8, 4, 1024, false), 4);
+        // And the public probe agrees (256 items = 4 words), however
+        // many cores the host running this test has.
         let opts = SolverOptions {
             parallelism: 4,
             ..Default::default()
         };
         assert_eq!(planned_shards(&opts, 256), 1);
-        assert_eq!(planned_shards(&opts, 4096), 4);
+        assert_eq!(planned_shards(&opts, 4096), 4.min(threads_available()));
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod solver;
 mod universe;
 
 pub use bitset::{BitSet, Iter};
-pub use pool::{global_pool, PoolScope, WorkerPool};
+pub use pool::{default_workers, global_pool, PoolScope, WorkerPool};
 pub use slab::{BitMut, BitRef, BitSlab};
 pub use solver::{Direction, FlowGraph, GenKillProblem, Meet, SimpleGraph, Solution};
 pub use universe::{ItemId, Universe};

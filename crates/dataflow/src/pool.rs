@@ -358,16 +358,24 @@ fn worker_loop(shared: &Arc<PoolShared>, k: usize) {
     }
 }
 
+/// The worker count the process-wide pool uses: exactly the host's
+/// [`std::thread::available_parallelism`] (1 when detection fails).
+/// More workers than hardware threads only adds contention — the
+/// committed benchmarks measured an 8-worker batch lint running slower
+/// than 1 worker on a single-CPU host — so the *default* never
+/// oversubscribes; callers wanting a specific width (e.g. `--jobs N`)
+/// build their own [`WorkerPool`].
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// The process-wide pool, created on first use and sized to
-/// [`std::thread::available_parallelism`]. Solver shards and batch lint
-/// jobs across the whole process share these threads instead of each
-/// call spawning its own.
+/// [`default_workers`]. Solver shards and batch lint jobs across the
+/// whole process share these threads instead of each call spawning its
+/// own.
 pub fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let workers = thread::available_parallelism().map_or(4, usize::from);
-        WorkerPool::new(workers)
-    })
+    POOL.get_or_init(|| WorkerPool::new(default_workers()))
 }
 
 #[cfg(test)]
@@ -512,6 +520,14 @@ mod tests {
             WorkerPool::threads_spawned(),
             before,
             "steady-state batches must reuse the pool's threads"
+        );
+    }
+
+    #[test]
+    fn global_pool_never_oversubscribes_the_host() {
+        assert_eq!(
+            global_pool().workers(),
+            thread::available_parallelism().map_or(1, usize::from)
         );
     }
 

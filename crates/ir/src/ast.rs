@@ -11,6 +11,7 @@
 //! annotation) can attach information to statements without borrowing the
 //! tree.
 
+use crate::intern::Symbol;
 use std::fmt;
 
 /// A numeric statement label, e.g. the `77` in `77 do k = 1, N`.
@@ -67,27 +68,27 @@ pub enum Expr {
     /// An integer literal.
     Const(i64),
     /// A scalar variable or symbolic constant (`i`, `N`, `test`).
-    Var(String),
+    Var(Symbol),
     /// A binary operation.
     Bin(BinOp, Box<Expr>, Box<Expr>),
     /// A subscripted reference `name(index)` — an array element or, by
     /// Fortran convention, a call like `test(i)`.
-    Elem(String, Box<Expr>),
+    Elem(Symbol, Box<Expr>),
     /// A section reference `name(lo:hi)`, as used in communication
     /// annotations like `x(6:N+5)`.
-    Section(String, Box<Expr>, Box<Expr>),
+    Section(Symbol, Box<Expr>, Box<Expr>),
     /// The paper's `...`: an unspecified, irrelevant value.
     Opaque,
 }
 
 impl Expr {
     /// Convenience constructor for `Expr::Var`.
-    pub fn var(name: impl Into<String>) -> Expr {
+    pub fn var(name: impl Into<Symbol>) -> Expr {
         Expr::Var(name.into())
     }
 
     /// Convenience constructor for `name(index)`.
-    pub fn elem(name: impl Into<String>, index: Expr) -> Expr {
+    pub fn elem(name: impl Into<Symbol>, index: Expr) -> Expr {
         Expr::Elem(name.into(), Box::new(index))
     }
 
@@ -99,13 +100,13 @@ impl Expr {
     /// Collects every subscripted reference `(array, index)` in evaluation
     /// order, including references nested inside subscripts
     /// (`x(a(k))` yields both `a(k)` and `x(a(k))`, inner first).
-    pub fn subscripted_refs(&self) -> Vec<(&str, &Expr)> {
+    pub fn subscripted_refs(&self) -> Vec<(Symbol, &Expr)> {
         let mut out = Vec::new();
         self.collect_refs(&mut out);
         out
     }
 
-    fn collect_refs<'a>(&'a self, out: &mut Vec<(&'a str, &'a Expr)>) {
+    fn collect_refs<'a>(&'a self, out: &mut Vec<(Symbol, &'a Expr)>) {
         match self {
             Expr::Const(_) | Expr::Var(_) | Expr::Opaque => {}
             Expr::Bin(_, l, r) => {
@@ -114,29 +115,29 @@ impl Expr {
             }
             Expr::Elem(name, idx) => {
                 idx.collect_refs(out);
-                out.push((name, idx));
+                out.push((*name, idx));
             }
             Expr::Section(name, lo, hi) => {
                 lo.collect_refs(out);
                 hi.collect_refs(out);
                 // Report the section as a reference with an opaque index;
                 // sections only occur in annotations, not analyzed code.
-                out.push((name, lo));
+                out.push((*name, lo));
             }
         }
     }
 
     /// Collects the names of all scalar variables read by this expression.
-    pub fn free_vars(&self) -> Vec<&str> {
+    pub fn free_vars(&self) -> Vec<Symbol> {
         let mut out = Vec::new();
         self.collect_vars(&mut out);
         out
     }
 
-    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+    fn collect_vars(&self, out: &mut Vec<Symbol>) {
         match self {
             Expr::Const(_) | Expr::Opaque => {}
-            Expr::Var(v) => out.push(v),
+            Expr::Var(v) => out.push(*v),
             Expr::Bin(_, l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
@@ -154,7 +155,7 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Const(c) => write!(f, "{c}"),
-            Expr::Var(v) => f.write_str(v),
+            Expr::Var(v) => f.write_str(v.as_str()),
             Expr::Bin(op, l, r) => {
                 let needs_parens = |e: &Expr| {
                     matches!(e, Expr::Bin(inner, _, _)
@@ -183,9 +184,9 @@ impl fmt::Display for Expr {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum LValue {
     /// A scalar variable.
-    Scalar(String),
+    Scalar(Symbol),
     /// An array element `name(index)`.
-    Element(String, Expr),
+    Element(Symbol, Expr),
     /// The paper's `... = rhs`: the value is consumed but stored nowhere
     /// the analysis cares about.
     Opaque,
@@ -194,7 +195,7 @@ pub enum LValue {
 impl fmt::Display for LValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LValue::Scalar(v) => f.write_str(v),
+            LValue::Scalar(v) => f.write_str(v.as_str()),
             LValue::Element(name, idx) => write!(f, "{name}({idx})"),
             LValue::Opaque => f.write_str("..."),
         }
@@ -223,7 +224,7 @@ pub enum StmtKind {
     /// `do var = lo, hi … enddo` — a counted, potentially zero-trip loop.
     Do {
         /// Induction variable.
-        var: String,
+        var: Symbol,
         /// Lower bound.
         lo: Expr,
         /// Upper bound.

@@ -5,6 +5,7 @@
 //! through the parser.
 
 use crate::ast::{Expr, LValue, Label, Program, Stmt, StmtId, StmtKind};
+use crate::intern::Symbol;
 
 /// Builds a [`Program`] statement by statement.
 ///
@@ -58,7 +59,7 @@ impl ProgramBuilder {
     }
 
     /// Appends `lhs = rhs` with a scalar target.
-    pub fn assign(mut self, lhs: impl Into<String>, rhs: Expr) -> Self {
+    pub fn assign(mut self, lhs: impl Into<Symbol>, rhs: Expr) -> Self {
         let mut b = self.block();
         b.assign(lhs, rhs);
         let ids = b.body;
@@ -67,7 +68,7 @@ impl ProgramBuilder {
     }
 
     /// Appends `name(index) = rhs`.
-    pub fn assign_array(mut self, name: impl Into<String>, index: Expr, rhs: Expr) -> Self {
+    pub fn assign_array(mut self, name: impl Into<Symbol>, index: Expr, rhs: Expr) -> Self {
         let mut b = self.block();
         b.assign_array(name, index, rhs);
         let ids = b.body;
@@ -87,7 +88,7 @@ impl ProgramBuilder {
     /// Appends a `do var = lo, hi` loop whose body is built by `f`.
     pub fn do_loop(
         mut self,
-        var: impl Into<String>,
+        var: impl Into<Symbol>,
         lo: Expr,
         hi: Expr,
         f: impl FnOnce(&mut BlockBuilder<'_>),
@@ -133,7 +134,7 @@ impl BlockBuilder<'_> {
     }
 
     /// Appends `lhs = rhs` with a scalar target.
-    pub fn assign(&mut self, lhs: impl Into<String>, rhs: Expr) -> &mut Self {
+    pub fn assign(&mut self, lhs: impl Into<Symbol>, rhs: Expr) -> &mut Self {
         self.push(StmtKind::Assign {
             lhs: LValue::Scalar(lhs.into()),
             rhs,
@@ -142,7 +143,7 @@ impl BlockBuilder<'_> {
     }
 
     /// Appends `name(index) = rhs`.
-    pub fn assign_array(&mut self, name: impl Into<String>, index: Expr, rhs: Expr) -> &mut Self {
+    pub fn assign_array(&mut self, name: impl Into<Symbol>, index: Expr, rhs: Expr) -> &mut Self {
         self.push(StmtKind::Assign {
             lhs: LValue::Element(name.into(), index),
             rhs,
@@ -162,7 +163,7 @@ impl BlockBuilder<'_> {
     /// Appends a `do` loop whose body is built by `f`.
     pub fn do_loop(
         &mut self,
-        var: impl Into<String>,
+        var: impl Into<Symbol>,
         lo: Expr,
         hi: Expr,
         f: impl FnOnce(&mut BlockBuilder<'_>),

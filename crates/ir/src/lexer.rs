@@ -8,13 +8,16 @@
 //! original source, so downstream diagnostics can underline the exact
 //! source text (see `gnt-analyze`).
 
+use crate::intern::Symbol;
 use std::fmt;
 
 /// A lexical token.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Token {
     /// An identifier or keyword (keywords are resolved by the parser).
-    Ident(String),
+    /// The name is interned, so the token is `Copy` and comparisons are
+    /// integer compares.
+    Ident(Symbol),
     /// An integer literal.
     Int(i64),
     /// `...`
@@ -59,7 +62,7 @@ impl fmt::Display for Token {
 }
 
 /// A token with its source position, for error reporting and diagnostics.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpannedToken {
     /// The token itself.
     pub token: Token,
@@ -191,18 +194,24 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
                 push(&mut out, Token::Int(n), line, i, end);
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let mut s = String::new();
+                // Zero-copy: slice the source and intern the name
+                // directly — no per-identifier `String`.
                 let mut end = i;
                 while let Some(&(j, d)) = chars.peek() {
                     if d.is_ascii_alphanumeric() || d == '_' {
-                        s.push(d);
                         end = j + 1;
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                push(&mut out, Token::Ident(s), line, i, end);
+                push(
+                    &mut out,
+                    Token::Ident(Symbol::from(&src[i..end])),
+                    line,
+                    i,
+                    end,
+                );
             }
             other => return Err(LexError { ch: other, line }),
         }

@@ -38,12 +38,14 @@
 
 mod ast;
 mod builder;
+mod intern;
 mod lexer;
 mod parser;
 mod pretty;
 
 pub use ast::{BinOp, Expr, LValue, Label, Program, Span, Stmt, StmtId, StmtKind};
 pub use builder::{BlockBuilder, ProgramBuilder};
+pub use intern::{intern, Symbol, SymbolTable};
 pub use lexer::{lex, LexError, SpannedToken, Token};
 pub use parser::{parse, ParseError};
 pub use pretty::pretty;

@@ -19,8 +19,41 @@
 //! ```
 
 use crate::ast::{BinOp, Expr, LValue, Label, Program, Span, Stmt, StmtId, StmtKind};
+use crate::intern::{intern, Symbol};
 use crate::lexer::{lex, LexError, SpannedToken, Token};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// The MiniF keywords, interned once per process so the parser's keyword
+/// checks are integer compares.
+struct Keywords {
+    program: Symbol,
+    end: Symbol,
+    do_: Symbol,
+    enddo: Symbol,
+    if_: Symbol,
+    then: Symbol,
+    else_: Symbol,
+    endif: Symbol,
+    goto: Symbol,
+    continue_: Symbol,
+}
+
+fn kw() -> &'static Keywords {
+    static KW: OnceLock<Keywords> = OnceLock::new();
+    KW.get_or_init(|| Keywords {
+        program: intern("program"),
+        end: intern("end"),
+        do_: intern("do"),
+        enddo: intern("enddo"),
+        if_: intern("if"),
+        then: intern("then"),
+        else_: intern("else"),
+        endif: intern("endif"),
+        goto: intern("goto"),
+        continue_: intern("continue"),
+    })
+}
 
 /// An error produced while parsing MiniF source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -144,7 +177,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        let t = self.tokens.get(self.pos).map(|t| t.token);
         if t.is_some() {
             self.pos += 1;
         }
@@ -153,7 +186,7 @@ impl Parser {
 
     fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
         Err(ParseError::Unexpected {
-            found: self.peek().cloned(),
+            found: self.peek().copied(),
             expected: expected.to_string(),
             line: self.line(),
         })
@@ -175,11 +208,11 @@ impl Parser {
         self.expect(&Token::Newline, "end of line")
     }
 
-    fn at_keyword(&self, kw: &str) -> bool {
-        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    fn at_keyword(&self, kw: Symbol) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if *s == kw)
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
+    fn eat_keyword(&mut self, kw: Symbol) -> bool {
         if self.at_keyword(kw) {
             self.pos += 1;
             true
@@ -189,18 +222,18 @@ impl Parser {
     }
 
     fn parse_program(&mut self) -> Result<(), ParseError> {
-        if self.eat_keyword("program") {
+        if self.eat_keyword(kw().program) {
             match self.bump() {
                 Some(Token::Ident(name)) => {
-                    self.program = Program::new(name);
+                    self.program = Program::new(name.as_str());
                 }
                 _ => return self.unexpected("program name"),
             }
             self.expect_newline()?;
         }
-        let body = self.parse_block(&["end"])?;
+        let body = self.parse_block(&[kw().end])?;
         // Optional trailing `end`.
-        if self.eat_keyword("end") {
+        if self.eat_keyword(kw().end) {
             let _ = self.expect_newline();
         }
         self.program.set_body(body);
@@ -212,7 +245,7 @@ impl Parser {
 
     /// Parses statements until end of input or one of `terminators` is seen
     /// at the start of a line (the terminator is not consumed).
-    fn parse_block(&mut self, terminators: &[&str]) -> Result<Vec<StmtId>, ParseError> {
+    fn parse_block(&mut self, terminators: &[Symbol]) -> Result<Vec<StmtId>, ParseError> {
         let mut body = Vec::new();
         loop {
             while self.peek() == Some(&Token::Newline) {
@@ -220,7 +253,7 @@ impl Parser {
             }
             match self.peek() {
                 None => break,
-                Some(Token::Ident(s)) if terminators.contains(&s.as_str()) => break,
+                Some(Token::Ident(s)) if terminators.contains(s) => break,
                 _ => {}
             }
             body.push(self.parse_stmt()?);
@@ -268,15 +301,15 @@ impl Parser {
             None
         };
 
-        let kind = if self.at_keyword("do") {
+        let kind = if self.at_keyword(kw().do_) {
             self.parse_do()?
-        } else if self.at_keyword("if") {
+        } else if self.at_keyword(kw().if_) {
             self.parse_if()?
-        } else if self.eat_keyword("goto") {
+        } else if self.eat_keyword(kw().goto) {
             let target = self.parse_label_ref()?;
             self.expect_newline()?;
             StmtKind::Goto(target)
-        } else if self.eat_keyword("continue") {
+        } else if self.eat_keyword(kw().continue_) {
             self.expect_newline()?;
             StmtKind::Continue
         } else {
@@ -300,7 +333,7 @@ impl Parser {
     }
 
     fn parse_do(&mut self) -> Result<StmtKind, ParseError> {
-        assert!(self.eat_keyword("do"));
+        assert!(self.eat_keyword(kw().do_));
         let var = match self.bump() {
             Some(Token::Ident(v)) => v,
             _ => return self.unexpected("loop variable"),
@@ -310,8 +343,8 @@ impl Parser {
         self.expect(&Token::Comma, "`,`")?;
         let hi = self.parse_expr()?;
         self.expect_newline()?;
-        let body = self.parse_block(&["enddo"])?;
-        if !self.eat_keyword("enddo") {
+        let body = self.parse_block(&[kw().enddo])?;
+        if !self.eat_keyword(kw().enddo) {
             return self.unexpected("`enddo`");
         }
         self.expect_newline()?;
@@ -319,25 +352,25 @@ impl Parser {
     }
 
     fn parse_if(&mut self) -> Result<StmtKind, ParseError> {
-        assert!(self.eat_keyword("if"));
+        assert!(self.eat_keyword(kw().if_));
         let cond = self.parse_expr()?;
-        if self.eat_keyword("goto") {
+        if self.eat_keyword(kw().goto) {
             let target = self.parse_label_ref()?;
             self.expect_newline()?;
             return Ok(StmtKind::IfGoto { cond, target });
         }
-        if !self.eat_keyword("then") {
+        if !self.eat_keyword(kw().then) {
             return self.unexpected("`then` or `goto`");
         }
         self.expect_newline()?;
-        let then_body = self.parse_block(&["else", "endif"])?;
-        let else_body = if self.eat_keyword("else") {
+        let then_body = self.parse_block(&[kw().else_, kw().endif])?;
+        let else_body = if self.eat_keyword(kw().else_) {
             self.expect_newline()?;
-            self.parse_block(&["endif"])?
+            self.parse_block(&[kw().endif])?
         } else {
             Vec::new()
         };
-        if !self.eat_keyword("endif") {
+        if !self.eat_keyword(kw().endif) {
             return self.unexpected("`endif`");
         }
         self.expect_newline()?;
@@ -402,7 +435,7 @@ impl Parser {
     }
 
     fn parse_factor(&mut self) -> Result<Expr, ParseError> {
-        match self.peek().cloned() {
+        match self.peek().copied() {
             Some(Token::Dots) => {
                 self.pos += 1;
                 Ok(Expr::Opaque)

@@ -73,8 +73,82 @@ fn emit(b: &mut BlockBuilder<'_>, ops: &[Op], counter: &mut u32) {
     }
 }
 
+/// Identifier names that exercise the symbol table: varied lengths and
+/// shared prefixes force open-addressing probes. Reserved words are
+/// remapped (the parser resolves keywords before interning), and the
+/// first character is forced alphabetic to stay lexable.
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 1..12).prop_map(|bytes| {
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut name = String::new();
+        for (i, b) in bytes.iter().enumerate() {
+            let c = if i == 0 {
+                (b'a' + b % 26) as char
+            } else {
+                TAIL[*b as usize % TAIL.len()] as char
+            };
+            name.push(c);
+        }
+        if matches!(
+            name.as_str(),
+            "program"
+                | "end"
+                | "do"
+                | "enddo"
+                | "if"
+                | "then"
+                | "else"
+                | "endif"
+                | "goto"
+                | "continue"
+        ) {
+            name.insert(0, 'v');
+        }
+        name
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interned_names_survive_parse_and_render(names in prop::collection::vec(arb_ident(), 1..12)) {
+        // Build a program whose identifiers are arbitrary strings, round
+        // it through the pretty printer and parser, and require every
+        // name to come back byte-identical. This is the interning
+        // contract the front end leans on: a `Symbol` is just an id, but
+        // `as_str`/`Display`/`Ord` must behave exactly like the String
+        // the AST used to carry.
+        let mut builder = ProgramBuilder::new("interned");
+        for name in &names {
+            builder = builder.assign_array(name.clone(), Expr::var("i"), Expr::Opaque);
+            builder = builder.consume(Expr::elem(name.clone(), Expr::var("i")));
+        }
+        let program = builder.build();
+        let text = pretty(&program);
+        for name in &names {
+            prop_assert!(text.contains(name.as_str()), "{name} lost in rendering");
+        }
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(pretty(&reparsed), text);
+        // Interning is idempotent across independent parses: the same
+        // spelling maps to the same symbol, different spellings never
+        // collide observably.
+        for (sid, stmt) in reparsed.iter() {
+            let original = program.stmt(sid);
+            prop_assert_eq!(format!("{:?}", &stmt.kind), format!("{:?}", &original.kind));
+        }
+    }
+
+    #[test]
+    fn symbol_order_matches_string_order(a in arb_ident(), b in arb_ident()) {
+        // Diagnostics iterate BTreeMap<Symbol, _> and sort by Symbol;
+        // byte-identical output requires Symbol's Ord to agree with the
+        // string contents, not the interning order.
+        let (sa, sb) = (gnt_ir::Symbol::from(a.as_str()), gnt_ir::Symbol::from(b.as_str()));
+        prop_assert_eq!(sa.cmp(&sb), a.as_str().cmp(b.as_str()));
+        prop_assert_eq!(sa == sb, a == b);
+    }
 
     #[test]
     fn pretty_then_parse_is_identity_on_the_rendering(ops in prop::collection::vec(arb_op(3), 1..6)) {

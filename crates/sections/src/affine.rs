@@ -6,7 +6,7 @@
 //! assignments (e.g. `N+1 > N`) are decidable, everything else is
 //! "unknown" — the client must be conservative.
 
-use gnt_ir::{BinOp, Expr};
+use gnt_ir::{BinOp, Expr, Symbol};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -25,8 +25,11 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Affine {
     constant: i64,
-    /// Variable coefficients, zero coefficients removed.
-    terms: BTreeMap<String, i64>,
+    /// Variable coefficients, zero coefficients removed. Keyed by
+    /// interned [`Symbol`]s, which order by string contents, so
+    /// iteration (and hence [`fmt::Display`]) matches the old
+    /// `String`-keyed representation exactly.
+    terms: BTreeMap<Symbol, i64>,
 }
 
 impl Affine {
@@ -39,7 +42,7 @@ impl Affine {
     }
 
     /// The variable `v` with coefficient 1.
-    pub fn var(v: impl Into<String>) -> Affine {
+    pub fn var(v: impl Into<Symbol>) -> Affine {
         let mut terms = BTreeMap::new();
         terms.insert(v.into(), 1);
         Affine { constant: 0, terms }
@@ -51,8 +54,8 @@ impl Affine {
     }
 
     /// The coefficient of `v` (0 if absent).
-    pub fn coeff(&self, v: &str) -> i64 {
-        self.terms.get(v).copied().unwrap_or(0)
+    pub fn coeff(&self, v: impl Into<Symbol>) -> i64 {
+        self.terms.get(&v.into()).copied().unwrap_or(0)
     }
 
     /// `true` if the expression is a plain constant.
@@ -61,8 +64,8 @@ impl Affine {
     }
 
     /// The variables with nonzero coefficients.
-    pub fn vars(&self) -> impl Iterator<Item = &str> {
-        self.terms.keys().map(String::as_str)
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.keys().copied()
     }
 
     /// Multiplies by a constant.
@@ -76,9 +79,9 @@ impl Affine {
     }
 
     /// Substitutes `v := replacement`.
-    pub fn substitute(&self, v: &str, replacement: &Affine) -> Affine {
+    pub fn substitute(&self, v: impl Into<Symbol>, replacement: &Affine) -> Affine {
         let mut out = self.clone();
-        let k = out.terms.remove(v).unwrap_or(0);
+        let k = out.terms.remove(&v.into()).unwrap_or(0);
         if k != 0 {
             out = out + replacement.clone().scale(k);
         }
@@ -97,7 +100,7 @@ impl Affine {
     pub fn from_expr(expr: &Expr) -> Option<Affine> {
         match expr {
             Expr::Const(c) => Some(Affine::constant(*c)),
-            Expr::Var(v) => Some(Affine::var(v.clone())),
+            Expr::Var(v) => Some(Affine::var(*v)),
             Expr::Bin(op, l, r) => {
                 let l = Affine::from_expr(l)?;
                 let r = Affine::from_expr(r)?;

@@ -10,7 +10,7 @@
 
 use crate::affine::Affine;
 use crate::section::{DataRef, Range};
-use gnt_ir::Expr;
+use gnt_ir::{Expr, Symbol};
 
 /// The stack of enclosing loops (outermost first) with their bounds.
 #[derive(Clone, Debug, Default)]
@@ -20,7 +20,7 @@ pub struct LoopContext {
 
 #[derive(Clone, Debug)]
 struct Frame {
-    var: String,
+    var: Symbol,
     lo: Option<Affine>,
     hi: Option<Affine>,
 }
@@ -33,7 +33,7 @@ impl LoopContext {
 
     /// Pushes a loop `do var = lo, hi`. Non-affine bounds are recorded as
     /// unknown; references varying in such loops degrade to whole-array.
-    pub fn push(&mut self, var: impl Into<String>, lo: &Expr, hi: &Expr) {
+    pub fn push(&mut self, var: impl Into<Symbol>, lo: &Expr, hi: &Expr) {
         self.frames.push(Frame {
             var: var.into(),
             lo: Affine::from_expr(lo),
@@ -55,7 +55,7 @@ impl LoopContext {
         self.frames.len()
     }
 
-    fn frame(&self, var: &str) -> Option<&Frame> {
+    fn frame(&self, var: Symbol) -> Option<&Frame> {
         self.frames.iter().rev().find(|f| f.var == var)
     }
 
@@ -68,22 +68,22 @@ impl LoopContext {
         // Innermost-out, so bounds referencing outer loop variables
         // (triangular loops like y(a(1:i))) expand in turn.
         for frame in self.frames.iter().rev() {
-            let (klo, khi) = (lo.coeff(&frame.var), hi.coeff(&frame.var));
+            let (klo, khi) = (lo.coeff(frame.var), hi.coeff(frame.var));
             if klo != 0 {
                 let bound = if klo > 0 { &frame.lo } else { &frame.hi };
-                lo = lo.substitute(&frame.var, bound.as_ref()?);
+                lo = lo.substitute(frame.var, bound.as_ref()?);
             }
             if khi != 0 {
                 let bound = if khi > 0 { &frame.hi } else { &frame.lo };
-                hi = hi.substitute(&frame.var, bound.as_ref()?);
+                hi = hi.substitute(frame.var, bound.as_ref()?);
             }
         }
         Some(Range { lo, hi })
     }
 
     /// `true` if `var` is an induction variable of an enclosing loop.
-    pub fn is_loop_var(&self, var: &str) -> bool {
-        self.frame(var).is_some()
+    pub fn is_loop_var(&self, var: impl Into<Symbol>) -> bool {
+        self.frame(var.into()).is_some()
     }
 }
 
@@ -106,28 +106,22 @@ impl LoopContext {
 /// );
 /// assert_eq!(r.to_string(), "x(11:N+10)");
 /// ```
-pub fn normalize_ref(array: &str, index: &Expr, ctx: &LoopContext) -> DataRef {
+pub fn normalize_ref(array: impl Into<Symbol>, index: &Expr, ctx: &LoopContext) -> DataRef {
+    let array = array.into();
     if let Some(aff) = Affine::from_expr(index) {
         if let Some(range) = ctx.expand(&aff) {
-            return DataRef::Section {
-                array: array.to_string(),
-                range,
-            };
+            return DataRef::Section { array, range };
         }
-        return DataRef::Whole {
-            array: array.to_string(),
-        };
+        return DataRef::Whole { array };
     }
     if let Expr::Elem(index_array, inner) = index {
-        let inner_ref = normalize_ref(index_array, inner, ctx);
+        let inner_ref = normalize_ref(*index_array, inner, ctx);
         return DataRef::Gather {
-            array: array.to_string(),
+            array,
             index: Box::new(inner_ref),
         };
     }
-    DataRef::Whole {
-        array: array.to_string(),
-    }
+    DataRef::Whole { array }
 }
 
 #[cfg(test)]

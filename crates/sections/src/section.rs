@@ -9,6 +9,7 @@
 //! identical (§2, Figure 2).
 
 use crate::affine::Affine;
+use gnt_ir::Symbol;
 use std::fmt;
 
 /// A symbolic index range `lo:hi` (inclusive, Fortran style).
@@ -123,14 +124,14 @@ pub enum DataRef {
     /// A regular section `array(lo:hi)`.
     Section {
         /// Array name.
-        array: String,
+        array: Symbol,
         /// Index range.
         range: Range,
     },
     /// A gather `array(index(lo:hi))` through an index array.
     Gather {
         /// Array name.
-        array: String,
+        array: Symbol,
         /// The index-array reference producing the subscripts.
         index: Box<DataRef>,
     },
@@ -138,17 +139,17 @@ pub enum DataRef {
     /// subscripts).
     Whole {
         /// Array name.
-        array: String,
+        array: Symbol,
     },
 }
 
 impl DataRef {
     /// The referenced array.
-    pub fn array(&self) -> &str {
+    pub fn array(&self) -> Symbol {
         match self {
             DataRef::Section { array, .. }
             | DataRef::Gather { array, .. }
-            | DataRef::Whole { array } => array,
+            | DataRef::Whole { array } => *array,
         }
     }
 
@@ -194,13 +195,13 @@ impl DataRef {
             return None;
         }
         match (self, other) {
-            (DataRef::Whole { array }, _) | (_, DataRef::Whole { array }) => Some(DataRef::Whole {
-                array: array.clone(),
-            }),
+            (DataRef::Whole { array }, _) | (_, DataRef::Whole { array }) => {
+                Some(DataRef::Whole { array: *array })
+            }
             (DataRef::Section { array, range: a }, DataRef::Section { range: b, .. }) => {
                 if a.mergeable(b) == Some(true) {
                     Some(DataRef::Section {
-                        array: array.clone(),
+                        array: *array,
                         range: a.hull(b)?,
                     })
                 } else {
@@ -213,7 +214,8 @@ impl DataRef {
 
     /// `true` if this reference's subscripts are read through `array`
     /// (destroying `array` invalidates the reference, §4.1).
-    pub fn depends_on_index_array(&self, array: &str) -> bool {
+    pub fn depends_on_index_array(&self, array: impl Into<Symbol>) -> bool {
+        let array = array.into();
         match self {
             DataRef::Section { .. } | DataRef::Whole { .. } => false,
             DataRef::Gather { index, .. } => {

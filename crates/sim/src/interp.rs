@@ -16,7 +16,7 @@
 use crate::config::{Mode, SimConfig, SimReport};
 use gnt_cfg::{EdgeClass, EdgeMask, NodeId};
 use gnt_comm::{CommOp, CommPlan, OpKind};
-use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind};
+use gnt_ir::{Expr, LValue, Program, StmtId, StmtKind, Symbol};
 use gnt_sections::{Affine, DataRef};
 use std::collections::{HashMap, HashSet};
 
@@ -31,7 +31,11 @@ pub fn simulate(program: &Program, plan: &CommPlan, config: &SimConfig, mode: Mo
         plan,
         config,
         mode,
-        scalars: config.bindings.clone(),
+        scalars: config
+            .bindings
+            .iter()
+            .map(|(k, v)| (Symbol::from(k.as_str()), *v))
+            .collect(),
         arrays: HashMap::new(),
         clock: 0.0,
         report: SimReport::default(),
@@ -42,7 +46,7 @@ pub fn simulate(program: &Program, plan: &CommPlan, config: &SimConfig, mode: Mo
             .analysis
             .universe
             .iter()
-            .map(|(_, r)| r.array().to_string())
+            .map(|(_, r)| r.array())
             .collect(),
         handled: HashSet::new(),
     };
@@ -61,15 +65,15 @@ struct Sim<'a> {
     plan: &'a CommPlan,
     config: &'a SimConfig,
     mode: Mode,
-    scalars: HashMap<String, i64>,
-    arrays: HashMap<String, Vec<i64>>,
+    scalars: HashMap<Symbol, i64>,
+    arrays: HashMap<Symbol, Vec<i64>>,
     clock: f64,
     report: SimReport,
     /// Arrival time of the in-flight message per (is_write, item).
     pending: HashMap<(bool, u32), f64>,
     rng: u64,
     steps: u64,
-    distributed: HashSet<String>,
+    distributed: HashSet<Symbol>,
     /// Nodes whose operations the structured walk fires.
     handled: HashSet<NodeId>,
 }
@@ -231,9 +235,9 @@ impl Sim<'_> {
         ((x >> 11) as f64 / (1u64 << 53) as f64) < self.config.branch_prob
     }
 
-    fn array(&mut self, name: &str) -> &mut Vec<i64> {
+    fn array(&mut self, name: Symbol) -> &mut Vec<i64> {
         let size = self.config.array_size;
-        self.arrays.entry(name.to_string()).or_insert_with(|| {
+        self.arrays.entry(name).or_insert_with(|| {
             // Index arrays start as the identity permutation, so gathers
             // have well-defined concrete footprints.
             (0..size as i64).collect()
@@ -256,7 +260,7 @@ impl Sim<'_> {
                 let i = self.eval(idx);
                 let size = self.config.array_size as i64;
                 let i = i.rem_euclid(size.max(1)) as usize;
-                self.array(name)[i]
+                self.array(*name)[i]
             }
             Expr::Section(..) | Expr::Opaque => 0,
         }
@@ -271,12 +275,12 @@ impl Sim<'_> {
         let cost = self.config.alpha + self.config.beta;
         let mut n = 0u64;
         for (array, _) in reads.subscripted_refs() {
-            if self.distributed.contains(array) {
+            if self.distributed.contains(&array) {
                 n += 1;
             }
         }
         if let Some(LValue::Element(name, _)) = write {
-            if self.distributed.contains(name.as_str()) {
+            if self.distributed.contains(name) {
                 // Write-back: send + recv at the owner, blocking.
                 n += 1;
             }
@@ -323,9 +327,9 @@ impl Sim<'_> {
                     let i = self.eval(idx);
                     let size = self.config.array_size as i64;
                     let i = i.rem_euclid(size.max(1)) as usize;
-                    self.array(name)[i] = value;
+                    self.array(*name)[i] = value;
                 } else if let LValue::Scalar(name) = lhs {
-                    self.scalars.insert(name.clone(), value);
+                    self.scalars.insert(*name, value);
                 }
                 None
             }
@@ -356,7 +360,7 @@ impl Sim<'_> {
                 let mut escaped = None;
                 let mut iv = lo;
                 while iv <= hi {
-                    self.scalars.insert(var.clone(), iv);
+                    self.scalars.insert(*var, iv);
                     if let Some(t) = self.block(body) {
                         escaped = Some(t);
                         break;
@@ -404,7 +408,7 @@ fn eval_affine(a: &Affine, cfg: &SimConfig) -> i64 {
     for var in a.vars() {
         let value = cfg
             .bindings
-            .get(var)
+            .get(var.as_str())
             .copied()
             .unwrap_or((cfg.array_size / 2) as i64);
         v += a.coeff(var) * value;
